@@ -1,0 +1,145 @@
+package aim
+
+import (
+	"fmt"
+
+	"aim/internal/core"
+	"aim/internal/experiments"
+	"aim/internal/model"
+	"aim/internal/vf"
+)
+
+// Mode selects the IR-Booster operating policy.
+type Mode string
+
+const (
+	// Sprint maximizes throughput: high-frequency V-f pairs.
+	Sprint Mode = "sprint"
+	// LowPower maximizes energy efficiency: low-voltage V-f pairs.
+	LowPower Mode = "low-power"
+)
+
+func (m Mode) internal() (vf.Mode, error) {
+	switch m {
+	case Sprint:
+		return vf.Sprint, nil
+	case LowPower, "":
+		return vf.LowPower, nil
+	default:
+		return 0, fmt.Errorf("aim: unknown mode %q (want %q or %q)", m, Sprint, LowPower)
+	}
+}
+
+// Networks lists the workloads of the evaluation zoo.
+func Networks() []string {
+	return []string{"resnet18", "mobilenetv2", "yolov5", "vit", "llama3", "gpt2"}
+}
+
+// Config selects a workload and an AIM deployment.
+type Config struct {
+	// Network is one of Networks().
+	Network string
+	// Mode is Sprint or LowPower (default LowPower).
+	Mode Mode
+	// Beta is IR-Booster's stability horizon β (default 50).
+	Beta int
+	// WDSDelta is the weight-distribution-shift δ (default 16; must be
+	// a power of two).
+	WDSDelta int
+	// Seed drives every stochastic component (default 1).
+	Seed int64
+}
+
+// Result summarizes a full AIM run against the DVFS baseline.
+type Result struct {
+	Network string
+	Mode    Mode
+	// HRBaseline and HROptimized are the element-weighted average
+	// Hamming rates before and after LHR+WDS.
+	HRBaseline, HROptimized float64
+	// MitigationPct is the worst-case IR-drop reduction on
+	// weight-stationary macros versus the 140 mV sign-off worst case.
+	MitigationPct float64
+	// WorstDropMV is the optimized worst drop in millivolts.
+	WorstDropMV float64
+	// EfficiencyGain is the TOPS/W improvement factor.
+	EfficiencyGain float64
+	// MacroPowerMW is the average per-macro power under AIM.
+	MacroPowerMW float64
+	// BaselinePowerMW is the DVFS per-macro power.
+	BaselinePowerMW float64
+	// TOPS is the effective throughput under AIM; Speedup is versus the
+	// 256-TOPS baseline.
+	TOPS, Speedup float64
+	// Quality is the surrogate task quality after optimization
+	// (accuracy % or perplexity, per workload).
+	Quality float64
+	// Failures counts IRFailure events during the simulated run.
+	Failures int
+	// DelayFactor is total cycles over stall-free cycles (≥ 1).
+	DelayFactor float64
+}
+
+// Run compiles the workload through the full AIM pipeline (LHR + WDS +
+// HR-aware mapping), executes it on the simulated 7nm 256-TOPS chip
+// with IR-Booster, and compares against the worst-case DVFS baseline.
+func Run(cfg Config) (Result, error) {
+	mode, err := cfg.Mode.internal()
+	if err != nil {
+		return Result{}, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	net, err := model.ByName(cfg.Network, 2025)
+	if err != nil {
+		return Result{}, err
+	}
+	p := core.NewPipeline(mode)
+	p.Seed = seed
+	if cfg.Beta > 0 {
+		p.Beta = cfg.Beta
+	}
+	if cfg.WDSDelta > 0 {
+		p.WDSDelta = cfg.WDSDelta
+	}
+	rep := p.Run(net)
+	modeName := cfg.Mode
+	if modeName == "" {
+		modeName = LowPower
+	}
+	return Result{
+		Network:         net.Name,
+		Mode:            modeName,
+		HRBaseline:      rep.Baseline.HR.Average,
+		HROptimized:     rep.AIM.HR.Average,
+		MitigationPct:   100 * rep.Mitigation(),
+		WorstDropMV:     rep.AIM.Result.WorstWeightOpDropMV,
+		EfficiencyGain:  rep.EfficiencyGain(),
+		MacroPowerMW:    rep.AIM.Result.AvgMacroPowerMW,
+		BaselinePowerMW: rep.Baseline.Result.AvgMacroPowerMW,
+		TOPS:            rep.AIM.Result.TOPS,
+		Speedup:         rep.Speedup(),
+		Quality:         rep.AIM.Quality,
+		Failures:        rep.AIM.Result.Failures,
+		DelayFactor:     rep.AIM.Result.DelayFactor,
+	}, nil
+}
+
+// ExperimentIDs lists the reproducible tables and figures of the
+// paper's evaluation in order (fig3 … overhead).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Experiment regenerates one table/figure of the paper and returns it
+// rendered as text. Valid ids are ExperimentIDs().
+func Experiment(id string, seed int64) (string, error) {
+	run, ok := experiments.ByID(id)
+	if !ok {
+		return "", fmt.Errorf("aim: unknown experiment %q (want one of %v)", id, experiments.IDs())
+	}
+	if seed == 0 {
+		seed = 2025
+	}
+	return run(seed).Render(), nil
+}

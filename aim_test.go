@@ -1,0 +1,133 @@
+package aim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aim/internal/xrand"
+)
+
+func TestNetworksList(t *testing.T) {
+	if len(Networks()) != 6 {
+		t.Fatalf("networks = %v", Networks())
+	}
+}
+
+func TestRunUnknownNetwork(t *testing.T) {
+	if _, err := Run(Config{Network: "alexnet"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if _, err := Run(Config{Network: "resnet18", Mode: "turbo"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunLowPower(t *testing.T) {
+	res, err := Run(Config{Network: "resnet18", Mode: LowPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HROptimized >= res.HRBaseline {
+		t.Error("HR must fall")
+	}
+	if res.MitigationPct < 55 || res.MitigationPct > 73 {
+		t.Errorf("mitigation = %v%%, want 58.5-69.2", res.MitigationPct)
+	}
+	if res.EfficiencyGain < 1.8 || res.EfficiencyGain > 2.7 {
+		t.Errorf("efficiency gain = %v", res.EfficiencyGain)
+	}
+	if res.MacroPowerMW >= res.BaselinePowerMW {
+		t.Error("AIM must cut per-macro power")
+	}
+	if res.DelayFactor < 1 {
+		t.Errorf("delay factor = %v", res.DelayFactor)
+	}
+}
+
+func TestRunSprint(t *testing.T) {
+	res, err := Run(Config{Network: "vit", Mode: Sprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 1.0 || res.Speedup > 1.3 {
+		t.Errorf("sprint speedup = %v, want ~1.13-1.15", res.Speedup)
+	}
+}
+
+func TestExperimentLookup(t *testing.T) {
+	if len(ExperimentIDs()) != 20 {
+		t.Fatalf("experiment count = %d, want 20", len(ExperimentIDs()))
+	}
+	out, err := Experiment("overhead", 2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shift compensator") {
+		t.Errorf("unexpected output: %q", out)
+	}
+	if _, err := Experiment("fig99", 2025); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestOptimizeReducesHR(t *testing.T) {
+	g := xrand.New(3)
+	w := make([]float64, 8192)
+	for i := range w {
+		w[i] = g.Laplace(0, 0.02)
+	}
+	res, err := Optimize(w, OptimizeOptions{WDSDelta: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HRAfter >= res.HRBefore {
+		t.Errorf("HR did not fall: %v -> %v", res.HRBefore, res.HRAfter)
+	}
+	rel := (res.HRBefore - res.HRAfter) / res.HRBefore
+	if rel < 0.30 {
+		t.Errorf("LHR+WDS(16) reduction = %.1f%%, want >30%%", rel*100)
+	}
+	if res.OverflowFrac > 0.01 {
+		t.Errorf("overflow %v, want <1%%", res.OverflowFrac)
+	}
+	if len(res.Codes) != len(w) {
+		t.Error("code length mismatch")
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(nil, OptimizeOptions{}); err == nil {
+		t.Error("empty tensor must error")
+	}
+	if _, err := Optimize([]float64{1}, OptimizeOptions{Bits: 40}); err == nil {
+		t.Error("bad bits must error")
+	}
+	if _, err := Optimize([]float64{1}, OptimizeOptions{WDSDelta: 12}); err == nil {
+		t.Error("non-pow2 delta must error")
+	}
+}
+
+func TestCorrectionMatchesArithmetic(t *testing.T) {
+	got := Correction([]int32{1, 2, 3}, 8)
+	if got != -48 {
+		t.Errorf("correction = %d, want -48", got)
+	}
+}
+
+func TestHRKnown(t *testing.T) {
+	if got := HR([]int32{0, -1}, 8); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("HR = %v, want 0.5", got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, _ := Run(Config{Network: "resnet18"})
+	b, _ := Run(Config{Network: "resnet18"})
+	if a != b {
+		t.Error("Run must be deterministic")
+	}
+}

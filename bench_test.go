@@ -1,0 +1,130 @@
+package aim
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation (§6) and discussion (§7), each regenerating the
+// corresponding experiment through internal/experiments. Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/aimbench prints the same tables with the paper's rows/series.
+
+import (
+	"testing"
+
+	"aim/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := run(2025)
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3: normalized worst IR-drop per
+// workload versus the sign-off worst case.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Fig. 4: Rtog↔IR-drop correlation across 40
+// macros for DPIM and APIM.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Fig. 5: Rtog distributions over 50 000
+// cycles, with and without HR optimization.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig7 regenerates Fig. 7a: weight histograms aligning with
+// Hamming local minima under LHR.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTable2 regenerates Table 2: HRaverage/HRmax reductions of
+// LHR and WDS over the QAT baseline across the six models.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3: LHR integrated with PTQ
+// (OmniQuant, BRECQ).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig12 regenerates Fig. 12: per-layer HR of ResNet18.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Fig. 13: HR vs quality across the four
+// pipeline configurations.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Fig. 14: the WDS δ sweep.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Fig. 15: pruning versus/with LHR & WDS.
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16 regenerates Fig. 16: layout IR-drop heatmaps through
+// the PDN mesh solver.
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Fig. 17: drive-current and bump
+// voltage/current traces before and after AIM.
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkSec66 regenerates the §6.6 headline numbers (mitigation,
+// power, TOPS) for both modes.
+func BenchmarkSec66(b *testing.B) { benchExperiment(b, "sec66") }
+
+// BenchmarkFig18 regenerates Fig. 18: the β sweep.
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkFig19 regenerates Fig. 19: the component ablation.
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+
+// BenchmarkFig20 regenerates Fig. 20: energy-efficiency decomposition.
+func BenchmarkFig20(b *testing.B) { benchExperiment(b, "fig20") }
+
+// BenchmarkFig21 regenerates Fig. 21: mapping strategy comparison.
+func BenchmarkFig21(b *testing.B) { benchExperiment(b, "fig21") }
+
+// BenchmarkFig22 regenerates Fig. 22: AIM on APIM and adder trees.
+func BenchmarkFig22(b *testing.B) { benchExperiment(b, "fig22") }
+
+// BenchmarkVfSensitivity regenerates the §5.5.1 level-grid sensitivity
+// analysis.
+func BenchmarkVfSensitivity(b *testing.B) { benchExperiment(b, "vfsens") }
+
+// BenchmarkOverhead regenerates the §6.10 area/power overhead table.
+func BenchmarkOverhead(b *testing.B) { benchExperiment(b, "overhead") }
+
+// BenchmarkOptimize measures the library-level LHR+WDS optimization
+// path on a 64k-weight tensor (an ablation-style microbenchmark of the
+// core software pipeline).
+func BenchmarkOptimize(b *testing.B) {
+	w := make([]float64, 64*1024)
+	for i := range w {
+		w[i] = float64((i%255)-127) / 1270.0
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(w) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(w, OptimizeOptions{WDSDelta: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEnd measures a full AIM run (compile + simulate +
+// baseline comparison) on ResNet18.
+func BenchmarkEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Network: "resnet18"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

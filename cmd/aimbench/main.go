@@ -1,0 +1,51 @@
+// Command aimbench regenerates the paper's evaluation tables and
+// figures. With no arguments it runs every experiment in paper order;
+// -exp selects a comma-separated subset.
+//
+// Usage:
+//
+//	aimbench [-exp fig3,table2,...] [-seed N] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aim/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 2025, "random seed for all stochastic components")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	exitCode := 0
+	for _, id := range ids {
+		run, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "aimbench: unknown experiment %q (use -list)\n", id)
+			exitCode = 1
+			continue
+		}
+		start := time.Now()
+		tbl := run(*seed)
+		fmt.Println(tbl.Render())
+		fmt.Printf("[%s completed in %v]\n\n", tbl.ID, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,58 @@
+// Command aimtrace exports the per-cycle runtime traces behind the
+// paper's Fig. 17 — worst-group IR-drop (mV), demanded chip current (A)
+// and bump voltage (V) — as CSV for external plotting, for a workload
+// before (DVFS) and after (full AIM) optimization.
+//
+// Usage:
+//
+//	aimtrace [-net resnet18] [-mode low-power] [-seed N] > traces.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"aim/internal/core"
+	"aim/internal/model"
+	"aim/internal/vf"
+)
+
+func main() {
+	netName := flag.String("net", "resnet18", "workload: resnet18|mobilenetv2|yolov5|vit|llama3|gpt2")
+	mode := flag.String("mode", "low-power", "operating mode: sprint|low-power")
+	seed := flag.Int64("seed", 2025, "random seed")
+	flag.Parse()
+
+	var m vf.Mode
+	switch strings.ToLower(*mode) {
+	case "sprint":
+		m = vf.Sprint
+	case "low-power", "lowpower":
+		m = vf.LowPower
+	default:
+		log.Fatalf("aimtrace: unknown mode %q", *mode)
+	}
+	net, err := model.ByName(*netName, 2025)
+	if err != nil {
+		log.Fatalf("aimtrace: %v", err)
+	}
+	p := core.NewPipeline(m)
+	p.Seed = *seed
+	before := p.RunStage(net, core.StageBaseline).Result
+	after := p.RunStage(net, core.StageBooster).Result
+
+	n := len(before.DropTraceMV)
+	if len(after.DropTraceMV) < n {
+		n = len(after.DropTraceMV)
+	}
+	fmt.Println("cycle,drop_before_mV,drop_after_mV,current_before_A,current_after_A,bumpV_before,bumpV_after")
+	for i := 0; i < n; i++ {
+		fmt.Printf("%d,%.3f,%.3f,%.5f,%.5f,%.5f,%.5f\n",
+			i,
+			before.DropTraceMV[i], after.DropTraceMV[i],
+			before.CurrentTrace[i], after.CurrentTrace[i],
+			before.VoltageTrace[i], after.VoltageTrace[i])
+	}
+}

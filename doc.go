@@ -1,0 +1,32 @@
+// Package aim is a from-scratch reproduction of "AIM: Software and
+// Hardware Co-design for Architecture-level IR-drop Mitigation in
+// High-performance PIM" (Zhang et al., ISCA 2025).
+//
+// IR-drop — the gap between the ideal supply voltage and what circuit
+// cells actually receive — is especially severe in high-performance
+// SRAM processing-in-memory (PIM) chips, where thousands of compute
+// units switch in the same cycle. AIM attacks the problem at the
+// architecture level instead of with costly circuit-level guardbands:
+//
+//   - Rtog (Eq. 1) and HR (Eq. 3) connect the workload to IR-drop:
+//     per-cycle toggle activity of the bit-serial input streams ANDed
+//     with the stored weight bits, and its input-independent upper
+//     bound, the Hamming rate of the stored weights.
+//   - LHR (§5.3) is a differentiable regularizer that pulls quantized
+//     weights toward low-Hamming codes with negligible accuracy cost.
+//   - WDS (§5.4) shifts the weight distribution toward small positive
+//     codes (δ ∈ {8, 16} for INT8) and compensates exactly after the
+//     matmul with dedicated shift-compensator hardware.
+//   - IR-Booster (§5.5) converts the reclaimed Rtog margin into lower
+//     voltage or higher frequency per macro group, guarded by on-die
+//     VCO IR monitors and an IRFailure-driven recompute pipeline.
+//   - HR-aware task mapping (§5.6) arranges macro tasks so groups are
+//     not dragged down by their worst-HR member.
+//
+// The package exposes the end-to-end pipeline on a simulated 7nm
+// 256-TOPS PIM chip (16 macro groups × 4 macros), a synthetic model
+// zoo mirroring the paper's six evaluation networks, and a harness
+// regenerating every table and figure of the paper's evaluation; see
+// the Run, Optimize and Experiment entry points, the examples/
+// directory, and DESIGN.md / EXPERIMENTS.md.
+package aim

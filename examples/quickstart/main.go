@@ -1,0 +1,47 @@
+// Quickstart: run the full AIM pipeline on one workload and print the
+// before/after comparison, then optimize a raw weight tensor with the
+// library-level LHR+WDS path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"aim"
+)
+
+func main() {
+	// 1. End-to-end: ResNet18 on the simulated 7nm 256-TOPS PIM chip,
+	//    low-power mode, full AIM (LHR + WDS + HR-aware mapping +
+	//    IR-Booster) versus the worst-case DVFS baseline.
+	res, err := aim.Run(aim.Config{Network: "resnet18", Mode: aim.LowPower})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== AIM quickstart: resnet18, low-power ==")
+	fmt.Printf("HRaverage        %.3f -> %.3f\n", res.HRBaseline, res.HROptimized)
+	fmt.Printf("worst IR-drop    140.0 -> %.1f mV  (%.1f%% mitigation)\n", res.WorstDropMV, res.MitigationPct)
+	fmt.Printf("macro power      %.3f -> %.3f mW\n", res.BaselinePowerMW, res.MacroPowerMW)
+	fmt.Printf("energy efficiency %.2fx\n", res.EfficiencyGain)
+
+	// 2. Library-level: bring your own weights. A synthetic layer here;
+	//    any []float64 works.
+	weights := make([]float64, 4096)
+	for i := range weights {
+		weights[i] = 0.05 * math.Sin(float64(i)*0.7) * math.Exp(-float64(i%97)/40)
+	}
+	opt, err := aim.Optimize(weights, aim.OptimizeOptions{Bits: 8, WDSDelta: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== library-level LHR + WDS(8) on a raw tensor ==")
+	fmt.Printf("HR %.3f -> %.3f (drift %.2f codes, overflow %.2f%%)\n",
+		opt.HRBefore, opt.HRAfter, opt.MeanDrift, 100*opt.OverflowFrac)
+
+	// 3. The WDS shift is exact after compensation: for a matmul column
+	//    with inputs x, add aim.Correction(x, δ) to the accumulated
+	//    partial sum.
+	inputs := []int32{3, -1, 7, 0, 2}
+	fmt.Printf("WDS correction for a sample input column: %d\n", aim.Correction(inputs, opt.WDSDelta))
+}

@@ -1,0 +1,170 @@
+package booster
+
+import (
+	"fmt"
+
+	"aim/internal/irdrop"
+	"aim/internal/vf"
+)
+
+// Controller is the Booster Controller of Fig. 10b: it owns one level
+// adjuster, one IR monitor and one V-f operating point per macro
+// group, processes the per-cycle IRFailure signals, commands the
+// affected groups to recover, and keeps logical MacroSets frequency-
+// consistent.
+type Controller struct {
+	Table *vf.Table
+	Mode  vf.Mode
+	Model irdrop.Model
+	// GuardSigma widens each level's tolerated drop by this many noise
+	// sigmas before the monitor trips.
+	GuardSigma float64
+
+	groups []*GroupState
+	// setsOf[g] lists the MacroSet ids with members in group g.
+	setsOf [][]int
+	// groupsOf[set] lists the groups hosting members of a set.
+	groupsOf [][]int
+}
+
+// GroupState is one macro group's runtime state.
+type GroupState struct {
+	ID       int
+	Safe     vf.Level
+	Adjuster *LevelAdjuster
+	Monitor  *irdrop.Monitor
+	Level    vf.Level
+	Pair     vf.Pair
+}
+
+// NewController builds a controller for the given per-group safe
+// levels and set membership (setsOf[g] = set ids present in group g).
+func NewController(table *vf.Table, mode vf.Mode, m irdrop.Model, beta int, safeLevels []vf.Level, setsOf [][]int) *Controller {
+	if len(setsOf) != len(safeLevels) {
+		panic("booster: setsOf length != group count")
+	}
+	c := &Controller{Table: table, Mode: mode, Model: m, GuardSigma: 2.5, setsOf: setsOf}
+	numSets := 0
+	for _, sets := range setsOf {
+		for _, s := range sets {
+			if s < 0 {
+				panic("booster: negative set id")
+			}
+			if s+1 > numSets {
+				numSets = s + 1
+			}
+		}
+	}
+	c.groupsOf = make([][]int, numSets)
+	for g, sets := range setsOf {
+		for _, s := range sets {
+			c.groupsOf[s] = append(c.groupsOf[s], g)
+		}
+	}
+	for g, safe := range safeLevels {
+		gs := &GroupState{
+			ID:       g,
+			Safe:     safe,
+			Adjuster: NewLevelAdjuster(safe, beta),
+		}
+		gs.Level = gs.Adjuster.Level()
+		gs.Pair = table.PairFor(gs.Level, mode)
+		gs.Monitor = irdrop.NewMonitor(vf.NominalV*1000, c.tolerated(gs.Level))
+		c.groups = append(c.groups, gs)
+	}
+	return c
+}
+
+func (c *Controller) tolerated(l vf.Level) float64 {
+	return c.Model.Estimate(l.Rtog()) + c.GuardSigma*c.Model.NoiseMV
+}
+
+// Group returns group g's state.
+func (c *Controller) Group(g int) *GroupState { return c.groups[g] }
+
+// Groups returns the group count.
+func (c *Controller) Groups() int { return len(c.groups) }
+
+// CycleResult reports one controller step.
+type CycleResult struct {
+	// FailedGroups lists groups whose monitors tripped this cycle.
+	FailedGroups []int
+	// StalledSets lists the MacroSets that must run the Fig. 11
+	// recovery (any member group failed).
+	StalledSets []int
+	// SetFreqGHz is the synchronized frequency of each set (min over
+	// hosting groups).
+	SetFreqGHz []float64
+}
+
+// Step processes one cycle: observedDropMV[g] is what each group's
+// monitor sees. The controller samples monitors, drives every group's
+// Algorithm 2 adjuster, re-arms monitors on level changes, propagates
+// frequency synchronization to set peers, and reports which sets must
+// stall.
+func (c *Controller) Step(observedDropMV []float64) CycleResult {
+	if len(observedDropMV) != len(c.groups) {
+		panic(fmt.Sprintf("booster: %d drops for %d groups", len(observedDropMV), len(c.groups)))
+	}
+	var res CycleResult
+	stalled := make(map[int]bool)
+	changed := make([]bool, len(c.groups))
+	for g, gs := range c.groups {
+		fail := gs.Monitor.Sample(observedDropMV[g])
+		if fail {
+			res.FailedGroups = append(res.FailedGroups, g)
+			for _, s := range c.setsOf[g] {
+				stalled[s] = true
+			}
+		}
+		newLevel := gs.Adjuster.Step(fail, false, 0)
+		if newLevel != gs.Level {
+			gs.Level = newLevel
+			gs.Pair = c.Table.PairFor(newLevel, c.Mode)
+			gs.Monitor.SetToleratedDrop(c.tolerated(newLevel))
+			changed[g] = true
+		}
+	}
+	// Frequency synchronization (Algorithm 2 lines 11-13): peers of a
+	// set whose member changed frequency observe the sync event.
+	for g := range c.groups {
+		if !changed[g] {
+			continue
+		}
+		for _, s := range c.setsOf[g] {
+			for _, og := range c.groupsOf[s] {
+				if og != g {
+					c.groups[og].Adjuster.Step(false, true, c.groups[og].Level)
+				}
+			}
+		}
+	}
+	for s := range c.groupsOf {
+		if stalled[s] {
+			res.StalledSets = append(res.StalledSets, s)
+		}
+	}
+	res.SetFreqGHz = make([]float64, len(c.groupsOf))
+	for s, gs := range c.groupsOf {
+		f := -1.0
+		for _, g := range gs {
+			if f < 0 || c.groups[g].Pair.FreqGHz < f {
+				f = c.groups[g].Pair.FreqGHz
+			}
+		}
+		if f < 0 {
+			f = vf.NominalFreqGHz
+		}
+		res.SetFreqGHz[s] = f
+	}
+	return res
+}
+
+// TotalFailures sums the adjusters' failure counters.
+func (c *Controller) TotalFailures() int {
+	n := 0
+	for _, gs := range c.groups {
+		n += gs.Adjuster.Failures()
+	}
+	return n
+}

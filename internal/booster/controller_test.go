@@ -1,0 +1,122 @@
+package booster
+
+import (
+	"testing"
+
+	"aim/internal/irdrop"
+	"aim/internal/vf"
+)
+
+func newTestController(beta int) *Controller {
+	m := irdrop.DPIMModel()
+	table := vf.NewTable(m)
+	// Two groups: group 0 hosts set 0; group 1 hosts sets 0 and 1
+	// (set 0 spans both groups).
+	return NewController(table, vf.LowPower, m, beta,
+		[]vf.Level{30, 50}, [][]int{{0}, {0, 1}})
+}
+
+func TestControllerInit(t *testing.T) {
+	c := newTestController(50)
+	if c.Groups() != 2 {
+		t.Fatalf("groups = %d", c.Groups())
+	}
+	// Table 1: safe 30 → a0 25; safe 50 → a0 35.
+	if c.Group(0).Level != 25 || c.Group(1).Level != 35 {
+		t.Errorf("initial levels %v/%v, want 25/35", c.Group(0).Level, c.Group(1).Level)
+	}
+	if c.Group(0).Pair.V >= vf.NominalV {
+		t.Error("aggressive level should undervolt in low-power mode")
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	m := irdrop.DPIMModel()
+	table := vf.NewTable(m)
+	for _, f := range []func(){
+		func() { NewController(table, vf.LowPower, m, 50, []vf.Level{30}, [][]int{{0}, {1}}) },
+		func() { NewController(table, vf.LowPower, m, 50, []vf.Level{30}, [][]int{{-1}}) },
+		func() { newTestController(50).Step([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestControllerFailurePropagatesToSet(t *testing.T) {
+	c := newTestController(50)
+	// Group 0 sees a drop far above its level-25 tolerance; group 1 is
+	// quiet. Set 0 (spanning both groups) must stall; set 1 must not.
+	res := c.Step([]float64{120, 10})
+	if len(res.FailedGroups) != 1 || res.FailedGroups[0] != 0 {
+		t.Fatalf("failed groups = %v", res.FailedGroups)
+	}
+	if len(res.StalledSets) != 1 || res.StalledSets[0] != 0 {
+		t.Fatalf("stalled sets = %v, want [0]", res.StalledSets)
+	}
+	// DESIGN.md invariant 5: the failed group is at its safe level now.
+	if c.Group(0).Level != 30 {
+		t.Errorf("group 0 level = %v, want safe 30", c.Group(0).Level)
+	}
+	if c.TotalFailures() != 1 {
+		t.Errorf("failures = %d", c.TotalFailures())
+	}
+}
+
+func TestControllerSetFrequencySync(t *testing.T) {
+	c := newTestController(50)
+	res := c.Step([]float64{10, 10})
+	// Set 0 spans groups 0 (level 25) and 1 (level 35): its frequency
+	// is the slower of the two pairs; set 1 runs group 1's frequency.
+	f0 := c.Group(0).Pair.FreqGHz
+	f1 := c.Group(1).Pair.FreqGHz
+	want0 := f0
+	if f1 < f0 {
+		want0 = f1
+	}
+	if res.SetFreqGHz[0] != want0 {
+		t.Errorf("set 0 freq = %v, want min(%v,%v)", res.SetFreqGHz[0], f0, f1)
+	}
+	if res.SetFreqGHz[1] != f1 {
+		t.Errorf("set 1 freq = %v, want %v", res.SetFreqGHz[1], f1)
+	}
+}
+
+func TestControllerPromotesWhenQuiet(t *testing.T) {
+	c := newTestController(10)
+	start := c.Group(0).Level
+	for i := 0; i < 200; i++ {
+		c.Step([]float64{5, 5})
+	}
+	if c.Group(0).Level >= start {
+		t.Errorf("level %v did not promote from %v after quiet run", c.Group(0).Level, start)
+	}
+	if c.Group(0).Level < 20 {
+		t.Errorf("level promoted beyond the grid floor: %v", c.Group(0).Level)
+	}
+}
+
+func TestControllerRecoversAfterFailureBurst(t *testing.T) {
+	c := newTestController(10)
+	for i := 0; i < 5; i++ {
+		c.Step([]float64{130, 130})
+	}
+	if c.Group(0).Level != 30 || c.Group(1).Level != 50 {
+		t.Fatalf("levels after burst: %v/%v, want safe 30/50", c.Group(0).Level, c.Group(1).Level)
+	}
+	// The burst demoted the a-levels to safe, so recovery needs the
+	// full promotion path: β cycles back to a-level plus >2β more for
+	// the first promotion.
+	for i := 0; i < 35; i++ {
+		c.Step([]float64{5, 5})
+	}
+	if c.Group(0).Level >= 30 || c.Group(1).Level >= 50 {
+		t.Errorf("levels did not return to aggressive: %v/%v", c.Group(0).Level, c.Group(1).Level)
+	}
+}

@@ -1,0 +1,110 @@
+package booster
+
+import "fmt"
+
+// The Fig. 11 pipeline: task allocation is at macro granularity, and
+// macros from different physical groups combine into a logical
+// MacroSet computing one operator. Within a set every macro must run
+// at the same frequency; an IRFailure in any macro stalls the whole
+// set (bubbles), the failing macro re-adjusts V-f and recomputes, and
+// partial sums are held so results stay consistent. Other sets are
+// unaffected.
+
+// StepKind is the activity of one macro in one pipeline step.
+type StepKind byte
+
+const (
+	// StepMul is V-M multiplication of a kernel chunk with the input
+	// stream (M_ij in Fig. 11).
+	StepMul StepKind = 'M'
+	// StepAcc is partial-sum accumulation across the set (A_ij).
+	StepAcc StepKind = 'A'
+	// StepBubble is an idle slot while a peer recovers (Bub).
+	StepBubble StepKind = 'b'
+	// StepAdjust is V-f adjustment + recompute preparation (Re).
+	StepAdjust StepKind = 'R'
+	// StepRecompute re-executes the failed multiplication (Re').
+	StepRecompute StepKind = 'r'
+)
+
+// SetPipeline simulates one logical MacroSet's pipeline over a stream
+// of work units, injecting the Fig. 11 recovery sequence on failures.
+type SetPipeline struct {
+	// Macros is the number of macros in the set.
+	Macros int
+	// trace[m] is the per-macro step history (for tests/diagnostics).
+	trace [][]StepKind
+	// useful counts completed work units.
+	useful int
+	// total counts elapsed steps.
+	total int
+}
+
+// NewSetPipeline builds a pipeline over the given number of macros.
+func NewSetPipeline(macros int) *SetPipeline {
+	if macros <= 0 {
+		panic("booster: set needs at least one macro")
+	}
+	return &SetPipeline{Macros: macros, trace: make([][]StepKind, macros)}
+}
+
+// Advance processes one work unit (a multiplication + accumulation
+// wave across the whole set). failed lists macro indices that raised
+// IRFailure during this unit; each failure inserts the recovery
+// sequence: the failing macro spends StepAdjust + StepRecompute while
+// its peers hold bubbles, exactly one extra unit's worth of delay per
+// Fig. 11. Returns the number of pipeline steps consumed.
+func (p *SetPipeline) Advance(failed []int) int {
+	for _, m := range failed {
+		if m < 0 || m >= p.Macros {
+			panic(fmt.Sprintf("booster: failed macro %d out of set range", m))
+		}
+	}
+	steps := 1
+	// Normal wave: everyone multiplies and accumulates.
+	for m := 0; m < p.Macros; m++ {
+		p.trace[m] = append(p.trace[m], StepMul)
+	}
+	if len(failed) > 0 {
+		// Recovery wave(s): failing macros adjust then recompute; the
+		// rest of the set bubbles (stores partial sums, does nothing).
+		isFailed := make(map[int]bool, len(failed))
+		for _, m := range failed {
+			isFailed[m] = true
+		}
+		for m := 0; m < p.Macros; m++ {
+			if isFailed[m] {
+				p.trace[m] = append(p.trace[m], StepAdjust, StepRecompute)
+			} else {
+				p.trace[m] = append(p.trace[m], StepBubble, StepBubble)
+			}
+		}
+		steps += 2
+	}
+	// Accumulation wave completes the unit.
+	for m := 0; m < p.Macros; m++ {
+		p.trace[m] = append(p.trace[m], StepAcc)
+	}
+	steps++
+	p.useful++
+	p.total += steps
+	return steps
+}
+
+// Useful returns completed work units.
+func (p *SetPipeline) Useful() int { return p.useful }
+
+// Total returns elapsed pipeline steps.
+func (p *SetPipeline) Total() int { return p.total }
+
+// Utilization is useful work per step relative to the failure-free
+// pipeline (2 steps per unit: multiply + accumulate).
+func (p *SetPipeline) Utilization() float64 {
+	if p.total == 0 {
+		return 1
+	}
+	return float64(2*p.useful) / float64(p.total)
+}
+
+// Trace returns macro m's step history.
+func (p *SetPipeline) Trace(m int) []StepKind { return p.trace[m] }

@@ -1,0 +1,26 @@
+// Command calib prints Table-2-style HR reductions for the model zoo;
+// used to calibrate per-model distribution profiles against the paper.
+package main
+
+import (
+	"fmt"
+
+	"aim/internal/model"
+)
+
+func main() {
+	fmt.Println("model        base(avg/max)  +LHR(avg/max)%  +WDS8%  +WDS16%")
+	for _, n := range model.All(2025) {
+		b := model.NetworkHR(n, model.BaselineConfig())
+		l := model.NetworkHR(n, model.LHRConfig())
+		w8 := model.NetworkHR(n, model.WDSConfig(8))
+		w16 := model.NetworkHR(n, model.WDSConfig(16))
+		rel := func(x, y float64) float64 { return 100 * (x - y) / x }
+		fmt.Printf("%-12s %.3f/%.3f    %5.1f/%5.1f    %5.1f/%5.1f  %5.1f/%5.1f\n",
+			n.Name, b.Average, b.Max,
+			rel(b.Average, l.Average), rel(b.Max, l.Max),
+			rel(b.Average, w8.Average), rel(b.Max, w8.Max),
+			rel(b.Average, w16.Average), rel(b.Max, w16.Max))
+	}
+	fmt.Println("\npaper Table 2 targets (avg): resnet18 28/39/45.6  mobilenet 29/30.6/33.6  yolov5 23/31.5/38.6  vit 25.9/31.9/35.6  llama3 25.9/30.7/36.3  gpt2 30.7/38/41.5")
+}

@@ -1,0 +1,270 @@
+// Package compiler is the software stack that prepares a workload for
+// the AIM-enabled PIM chip (paper Fig. 6a): it quantizes weights (with
+// the LHR regularizer), applies the WDS pass with per-operator δ
+// configuration (Algorithm 1), segments operators into macro-sized
+// tasks, schedules them into waves that fit the chip, and invokes the
+// selected task-mapping strategy.
+package compiler
+
+import (
+	"fmt"
+
+	"aim/internal/mapping"
+	"aim/internal/model"
+	"aim/internal/pim"
+	"aim/internal/quant"
+	"aim/internal/vf"
+	"aim/internal/xrand"
+)
+
+// RuntimeOperandHR is the typical Hamming rate of runtime-generated
+// attention operands (QKT/SV): unlike weights it cannot be optimized
+// offline, and profiling puts it a little above the 0.5 of symmetric
+// data because attention scores and values skew positive-small after
+// softmax scaling.
+const RuntimeOperandHR = 0.55
+
+// Strategy selects the task mapper.
+type Strategy int
+
+const (
+	// SequentialMap fills macros in order (baseline).
+	SequentialMap Strategy = iota
+	// RandomMap shuffles tasks over macros.
+	RandomMap
+	// ZigzagMap walks the group grid boustrophedon.
+	ZigzagMap
+	// HRAwareMap is the paper's Algorithm 3 simulated annealing.
+	HRAwareMap
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case SequentialMap:
+		return "sequential"
+	case RandomMap:
+		return "random"
+	case ZigzagMap:
+		return "zigzag"
+	case HRAwareMap:
+		return "hr-aware"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Options configures a compilation.
+type Options struct {
+	Bits   int
+	UseLHR bool
+	// WDSDelta is the default δ (§5.2.1: default 8; 0 disables WDS).
+	WDSDelta int
+	// PerOpDelta overrides δ for named operators ("users can explicitly
+	// specify different δ values for each operator").
+	PerOpDelta map[string]int
+	Strategy   Strategy
+	Mode       vf.Mode
+	Seed       int64
+}
+
+// DefaultOptions is the full AIM software pipeline: LHR + WDS(δ=8) +
+// HR-aware mapping.
+func DefaultOptions() Options {
+	return Options{Bits: 8, UseLHR: true, WDSDelta: 8, Strategy: HRAwareMap, Mode: vf.LowPower, Seed: 1}
+}
+
+// BaselineOptions is the no-AIM software path: plain quantization and
+// sequential mapping.
+func BaselineOptions() Options {
+	return Options{Bits: 8, Strategy: SequentialMap, Mode: vf.LowPower, Seed: 1}
+}
+
+// LayerPlan is one operator after quantization and segmentation.
+type LayerPlan struct {
+	Layer *model.Layer
+	// Quant holds the deployed codes (nil for input-determined ops).
+	Quant *quant.Quantized
+	// HR is the deployed Hamming rate (1.0 sentinel for
+	// input-determined operators: worst case must be assumed).
+	HR float64
+	// Delta is the WDS δ applied (0 if none).
+	Delta int
+	// Segments is the number of macro tasks the operator occupies in
+	// its wave.
+	Segments int
+	// WaveRounds is how many full passes of its segments the operator
+	// needs when it exceeds one wave's capacity share.
+	WaveRounds int
+}
+
+// Wave is a set of operators co-resident on the chip.
+type Wave struct {
+	Plans []*LayerPlan
+	Tasks []mapping.Task
+	// Map is the chosen task-to-macro assignment.
+	Map *mapping.Mapping
+	// Rounds is the wave's execution length multiplier: the largest
+	// WaveRounds among its operators.
+	Rounds int
+}
+
+// Compiled is the full compilation artifact.
+type Compiled struct {
+	Net     *model.Network
+	Options Options
+	Plans   []*LayerPlan
+	Waves   []*Wave
+	Stats   model.HRStats
+	// Drift feeds the accuracy surrogate.
+	Drift float64
+}
+
+// Compile runs the offline pipeline on a network.
+func Compile(net *model.Network, cfg pim.Config, opt Options) *Compiled {
+	if opt.Bits == 0 {
+		opt.Bits = 8
+	}
+	c := &Compiled{Net: net, Options: opt}
+	lhrOpt := net.LHROptions()
+	var lqs []model.LayerQuant
+	for _, l := range net.Layers {
+		plan := &LayerPlan{Layer: l, HR: 1.0}
+		if !l.Kind.InputDetermined() {
+			base := quant.Quantize(l.Weights, opt.Bits)
+			q := base
+			drift := 0.0
+			if opt.UseLHR {
+				res := quant.ApplyLHR(l.Weights, opt.Bits, lhrOpt)
+				q = res.After
+				drift = res.Drift
+			}
+			ovf := 0.0
+			if d := deltaFor(l.Name, opt); d > 0 {
+				if !quant.IsPow2(d) {
+					panic(fmt.Sprintf("compiler: δ=%d for %s is not a power of two", d, l.Name))
+				}
+				shifted, nOv := quant.ShiftWeights(q, d)
+				q = shifted
+				plan.Delta = d
+				if n := len(base.Codes.Data); n > 0 {
+					ovf = float64(nOv) / float64(n)
+				}
+			}
+			plan.Quant = q
+			plan.HR = q.HR()
+			lqs = append(lqs, model.LayerQuant{Layer: l, Q: q, Drift: drift, OverflowFrac: ovf})
+		}
+		c.Plans = append(c.Plans, plan)
+	}
+	st := model.Stats(lqs)
+	c.Stats = st
+	c.Drift = st.MeanDrift
+	c.Waves = schedule(c.Plans, cfg)
+	mapper := newMapper(cfg, opt)
+	for _, w := range c.Waves {
+		w.Map = mapper(w.Tasks)
+		if err := w.Map.Validate(len(w.Tasks)); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+func deltaFor(name string, opt Options) int {
+	if d, ok := opt.PerOpDelta[name]; ok {
+		return d
+	}
+	return opt.WDSDelta
+}
+
+// schedule segments operators into macro tasks and packs them into
+// waves. Each operator asks for ceil(weights / macro capacity) macros;
+// operators larger than the whole chip run in multiple rounds of a
+// full-chip wave. Operators are packed in network order, starting a
+// new wave when the current one cannot fit the next operator.
+func schedule(plans []*LayerPlan, cfg pim.Config) []*Wave {
+	capacity := cfg.Macros()
+	perMacro := cfg.WeightsPerMacro()
+	cur := &Wave{}
+	used := 0
+	var waves []*Wave
+	flush := func() {
+		if len(cur.Plans) > 0 {
+			waves = append(waves, cur)
+			cur = &Wave{}
+			used = 0
+		}
+	}
+	for _, p := range plans {
+		elems := p.Layer.Elems()
+		seg := (elems + perMacro - 1) / perMacro
+		if seg < 1 {
+			seg = 1
+		}
+		p.WaveRounds = 1
+		if seg > capacity {
+			p.WaveRounds = (seg + capacity - 1) / capacity
+			seg = capacity
+		}
+		p.Segments = seg
+		if used+seg > capacity {
+			flush()
+		}
+		opID := len(cur.Plans)
+		taskHR := p.HR
+		if p.Layer.Kind.InputDetermined() {
+			// Safe-level selection must assume the worst (EffectiveHR
+			// returns 1), but the *actual* activity of QKT/SV operands
+			// follows the Hamming statistics of runtime-produced data.
+			taskHR = RuntimeOperandHR
+		}
+		for s := 0; s < seg; s++ {
+			cur.Tasks = append(cur.Tasks, mapping.Task{
+				Op:              p.Layer.Name,
+				OpID:            opID,
+				HR:              taskHR,
+				InputDetermined: p.Layer.Kind.InputDetermined(),
+			})
+		}
+		cur.Plans = append(cur.Plans, p)
+		if p.WaveRounds > cur.Rounds {
+			cur.Rounds = p.WaveRounds
+		}
+		used += seg
+	}
+	flush()
+	return waves
+}
+
+// newMapper returns the mapping function for the selected strategy.
+func newMapper(cfg pim.Config, opt Options) func([]mapping.Task) *mapping.Mapping {
+	switch opt.Strategy {
+	case SequentialMap:
+		return func(tasks []mapping.Task) *mapping.Mapping { return mapping.Sequential(tasks, cfg) }
+	case ZigzagMap:
+		return func(tasks []mapping.Task) *mapping.Mapping { return mapping.Zigzag(tasks, cfg) }
+	case RandomMap:
+		rng := xrand.NewNamed(opt.Seed, "compiler/random-map")
+		return func(tasks []mapping.Task) *mapping.Mapping { return mapping.Random(tasks, cfg, rng) }
+	case HRAwareMap:
+		return func(tasks []mapping.Task) *mapping.Mapping {
+			eval := mapping.NewEvaluator(cfg, modelFor(cfg), opt.Mode, xrand.NewNamed(opt.Seed, "compiler/eval"))
+			rng := xrand.NewNamed(opt.Seed, "compiler/sa")
+			best, _ := mapping.HRAware(tasks, eval, rng, mapping.DefaultSAOptions())
+			return best
+		}
+	default:
+		panic(fmt.Sprintf("compiler: unknown strategy %d", int(opt.Strategy)))
+	}
+}
+
+// modelFor picks the IR-drop model matching the macro kind.
+func modelFor(cfg pim.Config) (m irdropModel) {
+	return modelForKind(cfg.Kind)
+}
+
+// Quality returns the surrogate task quality of the compiled network.
+func (c *Compiled) Quality() float64 {
+	return c.Net.Profile.Acc.AfterDrift(c.Drift)
+}

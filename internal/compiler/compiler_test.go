@@ -1,0 +1,174 @@
+package compiler
+
+import (
+	"testing"
+
+	"aim/internal/model"
+	"aim/internal/pim"
+)
+
+const seed = 2025
+
+func TestCompileBaselineResNet(t *testing.T) {
+	net := model.ResNet18(seed)
+	c := Compile(net, pim.DefaultConfig(), BaselineOptions())
+	if len(c.Plans) != len(net.Layers) {
+		t.Fatalf("plans = %d, want %d", len(c.Plans), len(net.Layers))
+	}
+	if len(c.Waves) == 0 {
+		t.Fatal("no waves scheduled")
+	}
+	for _, w := range c.Waves {
+		if len(w.Tasks) == 0 || len(w.Tasks) > pim.DefaultConfig().Macros() {
+			t.Errorf("wave task count %d out of range", len(w.Tasks))
+		}
+		if w.Map == nil {
+			t.Error("wave not mapped")
+		}
+		if w.Rounds < 1 {
+			t.Errorf("wave rounds = %d", w.Rounds)
+		}
+	}
+	if c.Stats.Average < 0.44 || c.Stats.Average > 0.56 {
+		t.Errorf("baseline HR = %v", c.Stats.Average)
+	}
+}
+
+func TestCompileAIMPipelineLowersHR(t *testing.T) {
+	net := model.ResNet18(seed)
+	cfg := pim.DefaultConfig()
+	base := Compile(net, cfg, BaselineOptions())
+	aim := Compile(net, cfg, DefaultOptions())
+	if aim.Stats.Average >= base.Stats.Average {
+		t.Errorf("AIM pipeline did not lower HR: %v -> %v", base.Stats.Average, aim.Stats.Average)
+	}
+	rel := (base.Stats.Average - aim.Stats.Average) / base.Stats.Average
+	if rel < 0.25 {
+		t.Errorf("LHR+WDS relative reduction = %.1f%%, want > 25%%", rel*100)
+	}
+}
+
+func TestPerOpDeltaOverride(t *testing.T) {
+	net := model.ResNet18(seed)
+	opt := DefaultOptions()
+	opt.PerOpDelta = map[string]int{"conv1": 16}
+	c := Compile(net, pim.DefaultConfig(), opt)
+	found := false
+	for _, p := range c.Plans {
+		if p.Layer.Name == "conv1" {
+			found = true
+			if p.Delta != 16 {
+				t.Errorf("conv1 delta = %d, want 16", p.Delta)
+			}
+		} else if !p.Layer.Kind.InputDetermined() && p.Delta != 8 {
+			t.Errorf("%s delta = %d, want default 8", p.Layer.Name, p.Delta)
+		}
+	}
+	if !found {
+		t.Fatal("conv1 missing")
+	}
+}
+
+func TestNonPow2DeltaPanics(t *testing.T) {
+	net := model.ResNet18(seed)
+	opt := DefaultOptions()
+	opt.WDSDelta = 12
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for δ=12")
+		}
+	}()
+	Compile(net, pim.DefaultConfig(), opt)
+}
+
+func TestTransformerPlansMarkInputDetermined(t *testing.T) {
+	net := model.GPT2(seed)
+	c := Compile(net, pim.DefaultConfig(), DefaultOptions())
+	qktSeen := false
+	for _, p := range c.Plans {
+		if p.Layer.Kind == model.QKT {
+			qktSeen = true
+			if p.Quant != nil || p.HR != 1.0 {
+				t.Error("input-determined plan must carry no codes and HR sentinel 1.0")
+			}
+		}
+	}
+	if !qktSeen {
+		t.Fatal("no QKT plan")
+	}
+	for _, w := range c.Waves {
+		for _, task := range w.Tasks {
+			if task.InputDetermined && task.Op == "" {
+				t.Error("task metadata missing")
+			}
+		}
+	}
+}
+
+func TestLargeLayersGetWaveRounds(t *testing.T) {
+	net := model.Llama3(seed)
+	c := Compile(net, pim.DefaultConfig(), BaselineOptions())
+	multi := false
+	for _, p := range c.Plans {
+		want := (p.Layer.Elems() + pim.DefaultConfig().WeightsPerMacro() - 1) / pim.DefaultConfig().WeightsPerMacro()
+		if want > pim.DefaultConfig().Macros() {
+			if p.WaveRounds < 2 {
+				t.Errorf("%s should need multiple rounds", p.Layer.Name)
+			}
+			multi = true
+		}
+	}
+	if !multi {
+		t.Skip("no layer larger than the chip in this zoo configuration")
+	}
+}
+
+func TestSegmentsMatchCapacity(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	for _, net := range model.All(seed) {
+		c := Compile(net, cfg, BaselineOptions())
+		for _, w := range c.Waves {
+			total := 0
+			for _, p := range w.Plans {
+				total += p.Segments
+			}
+			if total != len(w.Tasks) {
+				t.Errorf("%s: wave segments %d != tasks %d", net.Name, total, len(w.Tasks))
+			}
+			if total > cfg.Macros() {
+				t.Errorf("%s: wave overflows chip: %d", net.Name, total)
+			}
+		}
+	}
+}
+
+func TestAllStrategiesProduceValidMappings(t *testing.T) {
+	net := model.ViT(seed)
+	cfg := pim.DefaultConfig()
+	for _, s := range []Strategy{SequentialMap, RandomMap, ZigzagMap, HRAwareMap} {
+		opt := DefaultOptions()
+		opt.Strategy = s
+		// Keep HR-aware cheap in tests.
+		c := Compile(net, cfg, opt)
+		for wi, w := range c.Waves {
+			if err := w.Map.Validate(len(w.Tasks)); err != nil {
+				t.Errorf("%v wave %d: %v", s, wi, err)
+			}
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if SequentialMap.String() != "sequential" || HRAwareMap.String() != "hr-aware" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestQualitySurrogateStable(t *testing.T) {
+	net := model.ViT(seed)
+	c := Compile(net, pim.DefaultConfig(), DefaultOptions())
+	q := c.Quality()
+	if q < 79 || q > 83 {
+		t.Errorf("ViT surrogate quality = %v, want ~81", q)
+	}
+}

@@ -1,0 +1,17 @@
+package compiler
+
+import (
+	"aim/internal/irdrop"
+	"aim/internal/pim"
+)
+
+// irdropModel aliases the IR-drop model type for local signatures.
+type irdropModel = irdrop.Model
+
+// modelForKind maps a macro family to its calibrated IR-drop model.
+func modelForKind(k pim.MacroKind) irdrop.Model {
+	if k == pim.APIM {
+		return irdrop.APIMModel()
+	}
+	return irdrop.DPIMModel()
+}

@@ -1,0 +1,169 @@
+// Package core ties the AIM system together (paper Fig. 6): the
+// offline software pipeline (LHR-regularized quantization, WDS,
+// HR-aware task mapping) and the runtime hardware adjustment
+// (IR-Booster over the chip simulator), plus the staged ablation
+// configurations of §6.8.
+package core
+
+import (
+	"fmt"
+
+	"aim/internal/compiler"
+	"aim/internal/model"
+	"aim/internal/pim"
+	"aim/internal/sim"
+	"aim/internal/vf"
+)
+
+// Stage selects how much of AIM is enabled — the §6.8 ablation axis.
+type Stage int
+
+const (
+	// StageBaseline is the unmodified chip: baseline quantization,
+	// sequential mapping, worst-case DVFS.
+	StageBaseline Stage = iota
+	// StageLHR adds the LHR regularizer, with IR-Booster pinned at the
+	// software-guided safe level (the paper's convention: software
+	// methods alone don't change V-f, so they are measured with basic
+	// safe-level booster support).
+	StageLHR
+	// StageWDS adds WDS on top of LHR (same safe-level booster).
+	StageWDS
+	// StageBooster is full AIM: LHR + WDS + aggressive IR-Booster +
+	// HR-aware task mapping.
+	StageBooster
+)
+
+// String names the stage the way the paper's figures label it.
+func (s Stage) String() string {
+	switch s {
+	case StageBaseline:
+		return "baseline"
+	case StageLHR:
+		return "+LHR"
+	case StageWDS:
+		return "+WDS"
+	case StageBooster:
+		return "+IR-Booster"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Stages lists the ablation ladder in order.
+func Stages() []Stage { return []Stage{StageBaseline, StageLHR, StageWDS, StageBooster} }
+
+// Pipeline is a configured AIM deployment.
+type Pipeline struct {
+	Chip pim.Config
+	Mode vf.Mode
+	Beta int
+	// WDSDelta is the δ used by the WDS stage (default 16 to match the
+	// paper's ablation configuration).
+	WDSDelta int
+	Seed     int64
+}
+
+// NewPipeline returns the reference deployment: the 7nm 256-TOPS chip,
+// β=50, δ=16.
+func NewPipeline(mode vf.Mode) *Pipeline {
+	return &Pipeline{Chip: pim.DefaultConfig(), Mode: mode, Beta: 50, WDSDelta: 16, Seed: 1}
+}
+
+// CompilerOptions derives the offline configuration for a stage.
+func (p *Pipeline) CompilerOptions(s Stage) compiler.Options {
+	opt := compiler.BaselineOptions()
+	opt.Mode = p.Mode
+	opt.Seed = p.Seed
+	switch s {
+	case StageBaseline:
+	case StageLHR:
+		opt.UseLHR = true
+	case StageWDS:
+		opt.UseLHR = true
+		opt.WDSDelta = p.WDSDelta
+	case StageBooster:
+		opt.UseLHR = true
+		opt.WDSDelta = p.WDSDelta
+		opt.Strategy = compiler.HRAwareMap
+	}
+	return opt
+}
+
+// SimOptions derives the runtime configuration for a stage.
+func (p *Pipeline) SimOptions(s Stage, transformer bool) sim.Options {
+	opt := sim.DefaultOptions(transformer, p.Mode)
+	opt.Beta = p.Beta
+	opt.Seed = p.Seed
+	switch s {
+	case StageBaseline:
+		opt.UseBooster = false
+		opt.Aggressive = false
+	case StageLHR, StageWDS:
+		opt.UseBooster = true
+		opt.Aggressive = false
+	case StageBooster:
+		opt.UseBooster = true
+		opt.Aggressive = true
+	}
+	return opt
+}
+
+// StageResult is one rung of the ablation ladder.
+type StageResult struct {
+	Stage    Stage
+	HR       model.HRStats
+	Result   sim.Result
+	Quality  float64
+	Compiled *compiler.Compiled
+}
+
+// RunStage compiles and executes a network at the given stage.
+func (p *Pipeline) RunStage(net *model.Network, s Stage) StageResult {
+	c := compiler.Compile(net, p.Chip, p.CompilerOptions(s))
+	res := sim.Run(c, p.Chip, p.SimOptions(s, net.Transformer))
+	return StageResult{Stage: s, HR: c.Stats, Result: res, Quality: c.Quality(), Compiled: c}
+}
+
+// Report is the end-to-end comparison the paper headlines (§6.6).
+type Report struct {
+	Net      *model.Network
+	Mode     vf.Mode
+	Baseline StageResult
+	AIM      StageResult
+}
+
+// Run executes the full before/after comparison for a network.
+func (p *Pipeline) Run(net *model.Network) Report {
+	return Report{
+		Net:      net,
+		Mode:     p.Mode,
+		Baseline: p.RunStage(net, StageBaseline),
+		AIM:      p.RunStage(net, StageBooster),
+	}
+}
+
+// EfficiencyGain is the energy-efficiency (throughput per watt)
+// improvement factor — the paper's headline 1.91-2.29× metric.
+func (r Report) EfficiencyGain() float64 {
+	base := r.Baseline.Result.TOPS / r.Baseline.Result.AvgMacroPowerMW
+	aim := r.AIM.Result.TOPS / r.AIM.Result.AvgMacroPowerMW
+	return aim / base
+}
+
+// PowerGain is the raw per-macro power reduction factor (the paper's
+// 4.2978 → 1.876 mW view).
+func (r Report) PowerGain() float64 {
+	return r.Baseline.Result.AvgMacroPowerMW / r.AIM.Result.AvgMacroPowerMW
+}
+
+// Speedup is the effective-TOPS improvement factor.
+func (r Report) Speedup() float64 {
+	return r.AIM.Result.TOPS / r.Baseline.Result.TOPS
+}
+
+// Mitigation is the weight-op worst-drop reduction versus the sign-off
+// worst case ("up to 69.2%" in the paper).
+func (r Report) Mitigation() float64 {
+	return r.AIM.Result.WeightOpMitigation
+}

@@ -1,0 +1,210 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6) and discussion (§7) from the repository's
+// own substrates. Each experiment returns a Table of rows matching
+// what the paper reports; cmd/aimbench renders them and bench_test.go
+// wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig3", "table2", ...).
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows hold the data, stringified.
+	Rows [][]string
+	// Notes records paper-vs-measured commentary and artifacts (e.g.
+	// ASCII heatmaps).
+	Notes string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row, formatting each value with its verb.
+func (t *Table) AddRowf(format string, args ...interface{}) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", pad))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		sb.WriteString(t.Notes)
+		if !strings.HasSuffix(t.Notes, "\n") {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(seed int64) *Table
+
+// Registry maps experiment ids to their runners, in the paper's order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig7", Fig7},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"fig15", Fig15},
+		{"fig16", Fig16},
+		{"fig17", Fig17},
+		{"sec66", Sec66},
+		{"fig18", Fig18},
+		{"fig19", Fig19},
+		{"fig20", Fig20},
+		{"fig21", Fig21},
+		{"fig22", Fig22},
+		{"vfsens", VfSensitivity},
+		{"overhead", Overhead},
+	}
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Runner, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// f3 formats with 3 decimals.
+func f3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// f2 formats with 2 decimals.
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// pearson computes the Pearson correlation coefficient.
+func pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		panic("experiments: pearson input mismatch")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// histogram buckets values into k equal bins over [lo, hi].
+func histogram(vals []float64, lo, hi float64, k int) []int {
+	out := make([]int, k)
+	for _, v := range vals {
+		f := (v - lo) / (hi - lo)
+		i := int(f * float64(k))
+		if i < 0 {
+			i = 0
+		}
+		if i >= k {
+			i = k - 1
+		}
+		out[i]++
+	}
+	return out
+}
+
+// maxOf returns the maximum of a non-empty slice.
+func maxOf(vals []float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// meanOf returns the mean of a non-empty slice.
+func meanOf(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// sortedCopy returns an ascending copy.
+func sortedCopy(vals []float64) []float64 {
+	c := append([]float64(nil), vals...)
+	sort.Float64s(c)
+	return c
+}

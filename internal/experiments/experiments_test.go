@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const seed = 2025
+
+// parsePct converts "64.4%" to 0.644.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent %q: %v", s, err)
+	}
+	return v / 100
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad float %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig7", "table2", "table3", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "sec66", "fig18", "fig19",
+		"fig20", "fig21", "fig22", "vfsens", "overhead",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, ok := ByID("fig3"); !ok {
+		t.Error("ByID lookup failed")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	out := tb.Render()
+	if !strings.Contains(out, "== x: t ==") || !strings.Contains(out, "a") {
+		t.Errorf("render wrong: %q", out)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tb := Fig3(seed)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range tb.Rows {
+		frac := parsePct(t, r[2])
+		byName[r[0]] = frac
+		// Every workload's worst stays well below sign-off (the paper's
+		// motivation) but above 40%.
+		if frac < 0.40 || frac > 0.80 {
+			t.Errorf("%s normalized drop %.2f outside plausible band", r[0], frac)
+		}
+	}
+	if byName["vit"] <= byName["resnet18"] || byName["llama3"] <= byName["yolov5"] {
+		t.Error("transformers must sit above conv nets (Fig. 3 shape)")
+	}
+}
+
+func TestFig4Correlations(t *testing.T) {
+	tb := Fig4(seed)
+	dpim := parseF(t, tb.Rows[0][1])
+	apim := parseF(t, tb.Rows[1][1])
+	if dpim < 0.94 || dpim > 1.0 {
+		t.Errorf("DPIM r = %v, want ~0.977", dpim)
+	}
+	if apim < 0.985 || apim > 1.0 {
+		t.Errorf("APIM r = %v, want ~0.998", apim)
+	}
+	if apim <= dpim {
+		t.Error("APIM correlation should exceed DPIM")
+	}
+}
+
+func TestFig5Invariant(t *testing.T) {
+	tb := Fig5(seed)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		hr := parsePct(t, r[2])
+		maxR := parsePct(t, r[3])
+		if maxR > hr+1e-9 {
+			t.Errorf("%s %s: max(Rtog) %.3f exceeds HR %.3f (Eq. 4 violated)", r[0], r[1], maxR, hr)
+		}
+	}
+	// HR-opt rows must show lower HR and lower peak Rtog.
+	for i := 0; i < 4; i += 2 {
+		if parsePct(t, tb.Rows[i+1][2]) >= parsePct(t, tb.Rows[i][2]) {
+			t.Error("HR-opt must reduce HR")
+		}
+		if parsePct(t, tb.Rows[i+1][3]) >= parsePct(t, tb.Rows[i][3]) {
+			t.Error("HR-opt must reduce max(Rtog)")
+		}
+	}
+}
+
+func TestFig7LHRConcentratesLowHamming(t *testing.T) {
+	tb := Fig7(seed)
+	if len(tb.Rows) != 16 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The [0,8) bin (lowest positive Hamming region) must gain mass.
+	for _, r := range tb.Rows {
+		if r[0] == "[0,8)" {
+			base, _ := strconv.Atoi(r[1])
+			lhr, _ := strconv.Atoi(r[2])
+			if lhr <= base {
+				t.Errorf("[0,8) bin: LHR count %d should exceed baseline %d", lhr, base)
+			}
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := Table2(seed)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		lhr := parsePct(t, r[1])
+		w8 := parsePct(t, r[2])
+		w16 := parsePct(t, r[3])
+		if !(lhr > 0.15 && w8 > lhr && w16 > w8) {
+			t.Errorf("%s: reductions not monotone LHR<WDS8<WDS16: %v %v %v", r[0], lhr, w8, w16)
+		}
+		if lhr > 0.40 || w16 > 0.55 {
+			t.Errorf("%s: reductions implausibly large", r[0])
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb := Table3(seed)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		hrPlain := parseF(t, r[2])
+		hrLHR := parseF(t, r[3])
+		if hrLHR >= hrPlain {
+			t.Errorf("%s/%s: PTQ LHR did not reduce HR", r[0], r[1])
+		}
+		rel := (hrPlain - hrLHR) / hrPlain
+		if rel > 0.20 {
+			t.Errorf("%s/%s: PTQ LHR reduction %.2f too large (paper ~6-8%%)", r[0], r[1], rel)
+		}
+	}
+}
+
+func TestFig12RowsAndSummary(t *testing.T) {
+	tb := Fig12(seed)
+	// 21 layers + 2 summary rows.
+	if len(tb.Rows) != 23 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if parsePct(t, r[2]) >= parsePct(t, r[1]) {
+			t.Errorf("%s: LHR did not reduce HR", r[0])
+		}
+	}
+}
+
+func TestFig13QualityStable(t *testing.T) {
+	tb := Fig13(seed)
+	if len(tb.Rows) != 24 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Per model: |quality(d) - quality(a)| small relative to base.
+	byModel := map[string][]float64{}
+	for _, r := range tb.Rows {
+		byModel[r[0]] = append(byModel[r[0]], parseF(t, r[3]))
+	}
+	for m, qs := range byModel {
+		span := maxOf(qs) - sortedCopy(qs)[0]
+		if span/qs[0] > 0.03 {
+			t.Errorf("%s: quality span %.3f too wide across configs", m, span)
+		}
+	}
+}
+
+func TestFig14OnlyPow2Help(t *testing.T) {
+	tb := Fig14(seed)
+	if len(tb.Rows) != 18 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	vals := map[int][2]float64{}
+	for _, r := range tb.Rows {
+		d, _ := strconv.Atoi(r[0])
+		vals[d] = [2]float64{parseF(t, r[1]), parseF(t, r[2])}
+	}
+	for _, col := range []int{0, 1} {
+		if vals[8][col] >= 1 || vals[16][col] >= 1 {
+			t.Error("δ=8/16 must reduce HR")
+		}
+		if vals[16][col] >= vals[8][col] {
+			t.Error("δ=16 should beat δ=8 (§6.4)")
+		}
+		for _, d := range []int{1, 2, 3, 5, 6, 7, 9, 11, 13, 15, 17} {
+			if vals[d][col] < 1 {
+				t.Errorf("δ=%d unexpectedly reduced HR (%v)", d, vals[d][col])
+			}
+		}
+	}
+}
+
+func TestFig15PruningShape(t *testing.T) {
+	tb := Fig15(seed)
+	var prevHR = map[string]float64{}
+	for _, r := range tb.Rows {
+		key := r[0] + r[1]
+		hr := parseF(t, r[3])
+		if r[1] == "pruning" {
+			if prev, ok := prevHR[key]; ok && hr > prev+1e-9 {
+				t.Errorf("%s: HR must fall with sparsity", key)
+			}
+			prevHR[key] = hr
+		}
+	}
+}
+
+func TestFig16Mitigation(t *testing.T) {
+	tb := Fig16(seed)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	before := parseF(t, tb.Rows[0][1])
+	after := parseF(t, tb.Rows[1][1])
+	if after >= before {
+		t.Error("AIM must reduce the layout worst drop")
+	}
+	mit := 1 - after/before
+	if mit < 0.35 || mit > 0.75 {
+		t.Errorf("layout mitigation = %.2f, want paper-shaped", mit)
+	}
+	// Macros are the hotspots: core drop below worst macro drop.
+	if parseF(t, tb.Rows[0][3]) >= before {
+		t.Error("core drop should be below macro worst (Fig. 16)")
+	}
+	if !strings.Contains(tb.Notes, "before AIM") {
+		t.Error("heatmaps missing")
+	}
+}
+
+func TestFig17CurrentFalls(t *testing.T) {
+	tb := Fig17(seed)
+	peakB := parseF(t, tb.Rows[0][1])
+	peakA := parseF(t, tb.Rows[1][1])
+	if peakA >= peakB {
+		t.Error("AIM must cut peak demanded current")
+	}
+	minVB := parseF(t, tb.Rows[0][3])
+	minVA := parseF(t, tb.Rows[1][3])
+	if minVA <= minVB {
+		t.Error("AIM must lift the minimum bump voltage")
+	}
+}
+
+func TestSec66Bands(t *testing.T) {
+	tb := Sec66(seed)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		mit := parsePct(t, r[3])
+		if mit < 0.55 || mit > 0.73 {
+			t.Errorf("%s/%s mitigation %.2f outside band", r[0], r[1], mit)
+		}
+		if r[1] == "low-power" {
+			if g := parseF(t, r[5]); g < 1.8 || g > 2.7 {
+				t.Errorf("%s low-power gain %.2f outside band", r[0], g)
+			}
+		}
+		if r[1] == "sprint" {
+			if s := parseF(t, r[7]); s < 1.05 || s > 1.25 {
+				t.Errorf("%s sprint speedup %.3f outside band", r[0], s)
+			}
+		}
+	}
+}
+
+func TestFig18Monotone(t *testing.T) {
+	tb := Fig18(seed)
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	// β falls 90→10 down the rows: mitigation and delay must rise.
+	for _, col := range []int{1, 2, 3, 4} {
+		if parseF(t, last[col]) <= parseF(t, first[col]) {
+			t.Errorf("column %d not increasing as β shrinks", col)
+		}
+	}
+	// ViT pays more delay than ResNet18 at small β.
+	if parseF(t, last[4]) <= parseF(t, last[2]) {
+		t.Error("ViT should pay more delay than ResNet18 at β=10")
+	}
+}
+
+func TestFig19Ladder(t *testing.T) {
+	tb := Fig19(seed)
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := 0; i < 8; i += 4 {
+		name := tb.Rows[i][0]
+		dropBase := parseF(t, tb.Rows[i][2])
+		dropFull := parseF(t, tb.Rows[i+3][2])
+		if dropFull >= dropBase {
+			t.Errorf("%s: full AIM must reduce drop", name)
+		}
+		powBase := parseF(t, tb.Rows[i][3])
+		powFull := parseF(t, tb.Rows[i+3][3])
+		if powFull >= powBase {
+			t.Errorf("%s: full AIM must reduce power", name)
+		}
+	}
+}
+
+func TestFig20Ordering(t *testing.T) {
+	tb := Fig20(seed)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		b, l, w := parseF(t, r[1]), parseF(t, r[2]), parseF(t, r[3])
+		if !(b > 1.0 && l > b && w > l) {
+			t.Errorf("%s: gains not ordered booster<+LHR<+WDS: %v %v %v", r[0], b, l, w)
+		}
+		if w > 2.8 {
+			t.Errorf("%s: full gain %.2f implausibly high", r[0], w)
+		}
+	}
+}
+
+func TestFig21HRAwareDominates(t *testing.T) {
+	tb := Fig21(seed)
+	if len(tb.Rows) != 16 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for mix := 0; mix < 16; mix += 4 {
+		var hrPower, hrTOPS float64
+		for i := mix; i < mix+4; i++ {
+			if tb.Rows[i][1] == "hr-aware" {
+				hrPower = parseF(t, tb.Rows[i][2])
+				hrTOPS = parseF(t, tb.Rows[i][3])
+			}
+		}
+		for i := mix; i < mix+4; i++ {
+			if tb.Rows[i][1] == "hr-aware" {
+				continue
+			}
+			if parseF(t, tb.Rows[i][2]) < hrPower-1e-9 {
+				t.Errorf("%s: %s beats hr-aware on power", tb.Rows[i][0], tb.Rows[i][1])
+			}
+			if parseF(t, tb.Rows[i][3]) > hrTOPS+1e-9 {
+				t.Errorf("%s: %s beats hr-aware on TOPS", tb.Rows[i][0], tb.Rows[i][1])
+			}
+		}
+	}
+}
+
+func TestFig22APIMNearHalf(t *testing.T) {
+	tb := Fig22(seed)
+	for _, r := range tb.Rows {
+		mit := parsePct(t, r[3])
+		if r[0] == "APIM 28nm" && (mit < 0.38 || mit > 0.60) {
+			t.Errorf("APIM mitigation %.2f, want ~0.50", mit)
+		}
+		if r[0] == "adder tree" && mit <= 0.2 {
+			t.Errorf("adder tree should still mitigate notably, got %.2f", mit)
+		}
+	}
+}
+
+func TestVfSensitivityShape(t *testing.T) {
+	tb := VfSensitivity(seed)
+	vals := map[string]float64{}
+	for _, r := range tb.Rows {
+		vals[r[0]] = parseF(t, r[2])
+	}
+	ref := vals["20-60% step 5 (reference)"]
+	if ref != 1.0 {
+		t.Fatalf("reference not normalized: %v", ref)
+	}
+	if vals["25-60% step 5 (narrowed low end)"] >= ref {
+		t.Error("narrowing the low end must lose mitigation ability")
+	}
+	if vals["20-60% step 10 (coarse 4x4-like)"] >= ref {
+		t.Error("coarse steps must lose mitigation ability")
+	}
+	if fine := vals["20-60% step 2 (finer, 36+ pairs)"]; fine < ref || fine > ref*1.10 {
+		t.Errorf("finer steps should gain a little (<10%%), got %v", fine)
+	}
+}
+
+func TestOverheadBounds(t *testing.T) {
+	tb := Overhead(seed)
+	sc := parsePct(t, tb.Rows[0][1])
+	scP := parsePct(t, tb.Rows[0][2])
+	if sc > 0.002 || scP > 0.01 {
+		t.Errorf("SC overhead %v/%v beyond paper bounds", sc, scP)
+	}
+	mon := parsePct(t, tb.Rows[1][1])
+	monP := parsePct(t, tb.Rows[1][2])
+	if mon > 0.001 || monP > 0.005 {
+		t.Errorf("monitor overhead %v/%v beyond paper bounds", mon, monP)
+	}
+}

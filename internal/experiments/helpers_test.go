@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if r := pearson(x, []float64{2, 4, 6, 8}); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect positive correlation = %v", r)
+	}
+	if r := pearson(x, []float64{8, 6, 4, 2}); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative correlation = %v", r)
+	}
+	if r := pearson(x, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant series correlation = %v, want 0", r)
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := histogram([]float64{-1, 0, 0.49, 0.51, 2}, 0, 1, 2)
+	// -1 clamps into bin 0; 2 clamps into bin 1.
+	if h[0] != 3 || h[1] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestStatHelpers(t *testing.T) {
+	v := []float64{3, 1, 2}
+	if maxOf(v) != 3 {
+		t.Error("maxOf")
+	}
+	if meanOf(v) != 2 {
+		t.Error("meanOf")
+	}
+	sc := sortedCopy(v)
+	if sc[0] != 1 || sc[2] != 3 || v[0] != 3 {
+		t.Error("sortedCopy must sort a copy, not the input")
+	}
+}
+
+func TestCeil(t *testing.T) {
+	if ceil(2.0) != 2 || ceil(2.1) != 3 || ceil(0) != 0 {
+		t.Error("ceil wrong")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if pct(0.5) != "50.0%" || f3(1.23456) != "1.235" || f2(1.236) != "1.24" {
+		t.Error("formatters wrong")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRowf("%d|%s", 7, "x")
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "7" || tb.Rows[0][1] != "x" {
+		t.Errorf("AddRowf rows = %v", tb.Rows)
+	}
+}

@@ -1,0 +1,182 @@
+package mapping
+
+import (
+	"aim/internal/booster"
+	"aim/internal/irdrop"
+	"aim/internal/pim"
+	"aim/internal/vf"
+	"aim/internal/xrand"
+)
+
+// Score is the lightweight simulator's estimate for one mapping.
+type Score struct {
+	// DelaySteps is the end-to-end delay in evaluation steps (the
+	// longest operator completion, including failure stalls, scaled by
+	// its frequency).
+	DelaySteps float64
+	// PowerMW is the chip's average macro-power total.
+	PowerMW float64
+	// TOPS is the effective throughput estimate.
+	TOPS float64
+}
+
+// Scalar reduces the score to the objective Algorithm 3 minimizes in
+// the given mode: power in low-power mode, negative throughput in
+// sprint mode (both delay-aware).
+func (s Score) Scalar(mode vf.Mode) float64 {
+	if mode == vf.LowPower {
+		return s.PowerMW * s.DelaySteps
+	}
+	return -s.TOPS
+}
+
+// Evaluator is the §5.6 mapping evaluation function: "a lightweight
+// simulator [that] generates a 100-step input flip sequence sampled
+// from a normal distribution, which is then combined with the HR
+// values assigned to each macro" to estimate delay and power.
+type Evaluator struct {
+	Cfg   pim.Config
+	Model irdrop.Model
+	Table *vf.Table
+	Power vf.PowerModel
+	Mode  vf.Mode
+	Beta  int
+	// flips is the shared evaluation flip sequence: identical for every
+	// candidate mapping so SA comparisons are apples-to-apples.
+	flips []float64
+}
+
+// NewEvaluator builds an evaluator with a fresh 100-step flip sequence.
+func NewEvaluator(cfg pim.Config, m irdrop.Model, mode vf.Mode, rng *xrand.RNG) *Evaluator {
+	e := &Evaluator{
+		Cfg:   cfg,
+		Model: m,
+		Table: vf.NewTable(m),
+		Power: vf.DefaultPowerModel(),
+		Mode:  mode,
+		Beta:  50,
+	}
+	// Per-step flip intensities from a clipped normal distribution —
+	// the same process stream.Bernoulli drives full simulations with.
+	e.flips = make([]float64, 100)
+	for i := range e.flips {
+		p := rng.Normal(0.55, 0.18)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		e.flips[i] = p
+	}
+	return e
+}
+
+// Evaluate scores a mapping (§5.6's Score function).
+func (e *Evaluator) Evaluate(m *Mapping, tasks []Task) Score {
+	groupHRs := m.GroupHRs(tasks)
+
+	// Per-group static decisions: safe level from the worst effective
+	// HR, aggressive level from Table 1, operating pair per mode.
+	type groupState struct {
+		occupied int
+		level    vf.Level
+		pair     vf.Pair
+		worstHR  float64
+	}
+	groups := make([]groupState, m.Cfg.Groups)
+	for g := range groups {
+		hrs := groupHRs[g]
+		if len(hrs) == 0 {
+			continue
+		}
+		gs := &groups[g]
+		gs.occupied = len(hrs)
+		for _, hr := range hrs {
+			if hr > gs.worstHR {
+				gs.worstHR = hr
+			}
+		}
+		safe := booster.SafeLevelFor(hrs)
+		gs.level = vf.InitialALevel(safe)
+		gs.pair = e.Table.PairFor(gs.level, e.Mode)
+	}
+
+	// Operator frequency synchronization: a MacroSet runs at the
+	// slowest frequency among the groups hosting its tasks.
+	numOps := 0
+	for _, t := range tasks {
+		if t.OpID+1 > numOps {
+			numOps = t.OpID + 1
+		}
+	}
+	opFreq := make([]float64, numOps)
+	opTasks := make([]int, numOps)
+	for i := range opFreq {
+		opFreq[i] = -1
+	}
+	for macro, ti := range m.Assign {
+		if ti == Empty {
+			continue
+		}
+		op := tasks[ti].OpID
+		opTasks[op]++
+		f := groups[m.Group(macro)].pair.FreqGHz
+		if opFreq[op] < 0 || f < opFreq[op] {
+			opFreq[op] = f
+		}
+	}
+
+	// Walk the flip sequence: a group fails a step when the flip
+	// intensity times its worst HR exceeds its level's Rtog budget.
+	// Each failure stalls every operator with a task in that group by
+	// the Fig. 11 two-step recovery.
+	opStalls := make([]float64, numOps)
+	powerSum := 0.0
+	for _, p := range e.flips {
+		for g := range groups {
+			gs := &groups[g]
+			if gs.occupied == 0 {
+				continue
+			}
+			rtog := p * gs.worstHR
+			powerSum += float64(gs.occupied) * e.Power.MacroPowerMW(gs.pair, rtog)
+			if rtog > gs.level.Rtog() {
+				for macro, ti := range m.Assign {
+					if ti != Empty && m.Group(macro) == g {
+						opStalls[tasks[ti].OpID] += 2
+					}
+				}
+			}
+		}
+	}
+
+	// End-to-end delay: operators run concurrently; the slowest one
+	// (normalized by its synchronized frequency) sets completion.
+	steps := float64(len(e.flips))
+	var sc Score
+	totalThroughput := 0.0
+	totalTasks := 0
+	for op := 0; op < numOps; op++ {
+		if opTasks[op] == 0 {
+			continue
+		}
+		f := opFreq[op]
+		if f <= 0 {
+			f = vf.NominalFreqGHz
+		}
+		stallPerTask := opStalls[op] / float64(opTasks[op])
+		delay := (steps + stallPerTask) / f
+		if delay > sc.DelaySteps {
+			sc.DelaySteps = delay
+		}
+		util := steps / (steps + stallPerTask)
+		totalThroughput += float64(opTasks[op]) * f * util
+		totalTasks += opTasks[op]
+	}
+	if totalTasks > 0 {
+		sc.PowerMW = powerSum / steps
+		sc.TOPS = vf.ChipTOPS(totalThroughput/float64(totalTasks), 1.0)
+	}
+	return sc
+}

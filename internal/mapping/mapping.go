@@ -1,0 +1,182 @@
+// Package mapping implements task-to-macro mapping (paper §5.6): the
+// naive sequential, random and zigzag baselines, and the HR-aware
+// simulated-annealing mapper of Algorithm 3 with its lightweight
+// 100-step mapping evaluator.
+//
+// A "task" is a macro-sized slice of an operator. Macros within a
+// physical group share voltage and frequency, so a group is constrained
+// by its worst-HR macro; macros computing the same operator (a logical
+// MacroSet) must share frequency. HR-aware mapping arranges tasks so
+// those constraints bite as little as possible.
+package mapping
+
+import (
+	"fmt"
+
+	"aim/internal/pim"
+)
+
+// Task is one macro-granularity slice of an operator.
+type Task struct {
+	// Op names the source operator.
+	Op string
+	// OpID identifies the operator; all tasks with the same OpID form a
+	// logical MacroSet and must run at one frequency.
+	OpID int
+	// HR is the *actual* expected Hamming rate of the task's in-memory
+	// operands: the deployed weight HR for weight-stationary operators,
+	// or the typical runtime-operand HR for input-determined ones
+	// (activity depends on it, even though safe-level selection must
+	// assume worst case — see EffectiveHR).
+	HR float64
+	// InputDetermined marks operators (QKT, SV) whose operands are
+	// produced at runtime: their safe level reverts to DVFS.
+	InputDetermined bool
+}
+
+// EffectiveHR returns the HR used for safe-level selection: unknown
+// (input-determined) operands must be assumed worst-case.
+func (t Task) EffectiveHR() float64 {
+	if t.InputDetermined {
+		return 1.0
+	}
+	return t.HR
+}
+
+// Empty marks an unassigned macro slot.
+const Empty = -1
+
+// Mapping assigns tasks to macros: Assign[macro] is a task index or
+// Empty.
+type Mapping struct {
+	Assign []int
+	Cfg    pim.Config
+}
+
+// NewMapping allocates an all-empty mapping.
+func NewMapping(cfg pim.Config) *Mapping {
+	a := make([]int, cfg.Macros())
+	for i := range a {
+		a[i] = Empty
+	}
+	return &Mapping{Assign: a, Cfg: cfg}
+}
+
+// Clone deep-copies the mapping.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{Assign: append([]int(nil), m.Assign...), Cfg: m.Cfg}
+	return c
+}
+
+// Group returns the physical group index of a macro.
+func (m *Mapping) Group(macro int) int { return macro / m.Cfg.MacrosPerGroup }
+
+// GroupMembers returns the macro indices of a group.
+func (m *Mapping) GroupMembers(group int) []int {
+	start := group * m.Cfg.MacrosPerGroup
+	out := make([]int, m.Cfg.MacrosPerGroup)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// Validate checks DESIGN.md invariant 6: every task appears exactly
+// once.
+func (m *Mapping) Validate(numTasks int) error {
+	seen := make([]int, numTasks)
+	for macro, ti := range m.Assign {
+		if ti == Empty {
+			continue
+		}
+		if ti < 0 || ti >= numTasks {
+			return fmt.Errorf("mapping: macro %d has invalid task %d", macro, ti)
+		}
+		seen[ti]++
+	}
+	for ti, n := range seen {
+		if n != 1 {
+			return fmt.Errorf("mapping: task %d assigned %d times", ti, n)
+		}
+	}
+	return nil
+}
+
+// GroupHRs returns, for each group, the effective HRs of its occupied
+// macros (empty slice entries for idle groups).
+func (m *Mapping) GroupHRs(tasks []Task) [][]float64 {
+	out := make([][]float64, m.Cfg.Groups)
+	for macro, ti := range m.Assign {
+		if ti == Empty {
+			continue
+		}
+		g := m.Group(macro)
+		out[g] = append(out[g], tasks[ti].EffectiveHR())
+	}
+	return out
+}
+
+// Sequential fills macros in index order — the traditional mapping the
+// paper compares against.
+func Sequential(tasks []Task, cfg pim.Config) *Mapping {
+	checkCapacity(tasks, cfg)
+	m := NewMapping(cfg)
+	for i := range tasks {
+		m.Assign[i] = i
+	}
+	return m
+}
+
+// Zigzag fills the group grid boustrophedon (TANGRAM-style [26]):
+// groups are visited left-to-right then right-to-left across rows of
+// the 4-wide group array, filling each group's macros before moving on.
+func Zigzag(tasks []Task, cfg pim.Config) *Mapping {
+	checkCapacity(tasks, cfg)
+	m := NewMapping(cfg)
+	const rowW = 4
+	order := make([]int, 0, cfg.Groups)
+	for row := 0; row*rowW < cfg.Groups; row++ {
+		for i := 0; i < rowW && row*rowW+i < cfg.Groups; i++ {
+			g := row*rowW + i
+			if row%2 == 1 {
+				g = row*rowW + (rowW - 1 - i)
+			}
+			order = append(order, g)
+		}
+	}
+	ti := 0
+	for _, g := range order {
+		for _, macro := range m.GroupMembers(g) {
+			if ti >= len(tasks) {
+				return m
+			}
+			m.Assign[macro] = ti
+			ti++
+		}
+	}
+	return m
+}
+
+// Random shuffles tasks over macros.
+func Random(tasks []Task, cfg pim.Config, rng Rand) *Mapping {
+	checkCapacity(tasks, cfg)
+	m := NewMapping(cfg)
+	perm := rng.Perm(cfg.Macros())
+	for i := range tasks {
+		m.Assign[perm[i]] = i
+	}
+	return m
+}
+
+// Rand is the randomness the package needs (satisfied by *xrand.RNG).
+type Rand interface {
+	Perm(n int) []int
+	Intn(n int) int
+	Float64() float64
+}
+
+func checkCapacity(tasks []Task, cfg pim.Config) {
+	if len(tasks) > cfg.Macros() {
+		panic(fmt.Sprintf("mapping: %d tasks exceed %d macros", len(tasks), cfg.Macros()))
+	}
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"aim/internal/quant"
+)
+
+// QuantConfig selects a point in the paper's quantization-pipeline
+// space: the baseline QAT quantizer, optionally with the LHR
+// regularizer, optionally followed by WDS with shift δ.
+type QuantConfig struct {
+	Bits     int
+	UseLHR   bool
+	WDSDelta int // 0 disables WDS
+}
+
+// BaselineConfig is the paper's [64] baseline: plain INT8 QAT.
+func BaselineConfig() QuantConfig { return QuantConfig{Bits: 8} }
+
+// LHRConfig is baseline + LHR.
+func LHRConfig() QuantConfig { return QuantConfig{Bits: 8, UseLHR: true} }
+
+// WDSConfig is baseline + LHR + WDS(δ).
+func WDSConfig(delta int) QuantConfig { return QuantConfig{Bits: 8, UseLHR: true, WDSDelta: delta} }
+
+// String renders the config the way the paper labels columns.
+func (c QuantConfig) String() string {
+	switch {
+	case c.WDSDelta > 0:
+		return "+WDS"
+	case c.UseLHR:
+		return "+LHR"
+	default:
+		return "baseline"
+	}
+}
+
+// LayerQuant is one weight-stationary layer after quantization.
+type LayerQuant struct {
+	Layer *Layer
+	Q     *quant.Quantized
+	// Drift is the mean absolute code movement relative to the baseline
+	// quantization (accuracy surrogate input).
+	Drift float64
+	// OverflowFrac is the fraction of codes clamped by WDS.
+	OverflowFrac float64
+}
+
+// HR returns the layer's Hamming rate.
+func (lq LayerQuant) HR() float64 { return lq.Q.HR() }
+
+// QuantizeNetwork applies the configured pipeline to every
+// weight-stationary layer of the network.
+func QuantizeNetwork(n *Network, cfg QuantConfig) []LayerQuant {
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = 8
+	}
+	opt := n.LHROptions()
+	var out []LayerQuant
+	for _, l := range n.WeightLayers() {
+		base := quant.Quantize(l.Weights, bits)
+		q := base
+		drift := 0.0
+		if cfg.UseLHR {
+			res := quant.ApplyLHR(l.Weights, bits, opt)
+			q = res.After
+			drift = res.Drift
+		}
+		ovf := 0.0
+		if cfg.WDSDelta > 0 {
+			shifted, nOv := quant.ShiftWeights(q, cfg.WDSDelta)
+			q = shifted
+			if n := len(base.Codes.Data); n > 0 {
+				ovf = float64(nOv) / float64(n)
+			}
+		}
+		out = append(out, LayerQuant{Layer: l, Q: q, Drift: drift, OverflowFrac: ovf})
+	}
+	return out
+}
+
+// HRStats summarizes a quantized network.
+type HRStats struct {
+	// Average is the element-weighted mean HR over all layers — the
+	// paper's HRaverage.
+	Average float64
+	// Max is the highest per-layer HR — the paper's HRmax.
+	Max float64
+	// PerLayer holds each layer's HR in layer order.
+	PerLayer []float64
+	// MeanDrift is the element-weighted mean code drift versus the
+	// baseline quantization (WDS's compensated shift contributes no
+	// numeric drift; only its rare overflow clamping does).
+	MeanDrift float64
+}
+
+// Stats computes HR statistics over quantized layers.
+func Stats(lqs []LayerQuant) HRStats {
+	var st HRStats
+	totalElems := 0.0
+	weightedHR := 0.0
+	weightedDrift := 0.0
+	for _, lq := range lqs {
+		hr := lq.HR()
+		st.PerLayer = append(st.PerLayer, hr)
+		if hr > st.Max {
+			st.Max = hr
+		}
+		e := float64(lq.Layer.Elems())
+		totalElems += e
+		weightedHR += hr * e
+		// Overflowed codes moved by up to δ uncompensated; fold them
+		// into drift at a conservative half-δ magnitude.
+		weightedDrift += (lq.Drift + lq.OverflowFrac*4) * e
+	}
+	if totalElems > 0 {
+		st.Average = weightedHR / totalElems
+		st.MeanDrift = weightedDrift / totalElems
+	}
+	return st
+}
+
+// NetworkHR is a convenience: quantize under cfg and summarize.
+func NetworkHR(n *Network, cfg QuantConfig) HRStats {
+	return Stats(QuantizeNetwork(n, cfg))
+}
+
+// Quality returns the surrogate task quality of the network under the
+// given stats (accuracy in % or perplexity depending on the model).
+func (n *Network) Quality(st HRStats) float64 {
+	return n.Profile.Acc.AfterDrift(st.MeanDrift)
+}

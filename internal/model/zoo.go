@@ -1,0 +1,205 @@
+package model
+
+import (
+	"fmt"
+
+	"aim/internal/quant"
+)
+
+// Per-model profiles. Distribution parameters were calibrated (see
+// DESIGN.md and internal/calib) so that baseline INT8 HR lands near 0.5
+// for every model (paper Table 3) and so that the LHR/WDS reductions
+// reproduce the Table 2 shape: body width relative to the outlier-set
+// quantization scale controls how much WDS can win, λ controls the
+// LHR strength.
+
+// ResNet18 builds the conv-based ImageNet classifier (He et al.).
+func ResNet18(seed int64) *Network {
+	p := Profile{
+		LaplaceB: 0.020, OutlierFrac: 0.03, OutlierSigma: 0.080, Lambda: 1.05,
+		Acc: quant.AccuracyModel{Metric: quant.Accuracy, Base: 70.4, DriftSens: 2.0, DriftFree: 0.45, RegGain: 0, PruneSens: 9},
+	}
+	specs := []layerSpec{
+		{"conv1", Conv, 64, 3 * 7 * 7, 1.35},
+	}
+	// Four stages of two BasicBlocks each; stages 2-4 open with a
+	// strided conv and a 1x1 downsample shortcut.
+	ch := []int{64, 128, 256, 512}
+	mul := []float64{1.15, 1.0, 0.92, 0.85}
+	for stage := 0; stage < 4; stage++ {
+		c := ch[stage]
+		in := c
+		if stage > 0 {
+			in = ch[stage-1]
+		}
+		for blk := 0; blk < 2; blk++ {
+			cin := c
+			if blk == 0 {
+				cin = in
+			}
+			pre := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			specs = append(specs,
+				layerSpec{pre + ".conv1", Conv, c, cin * 9, mul[stage]},
+				layerSpec{pre + ".conv2", Conv, c, c * 9, mul[stage] * 0.95},
+			)
+			if blk == 0 && stage > 0 {
+				specs = append(specs, layerSpec{pre + ".downsample", Conv, c, in, mul[stage] * 1.1})
+			}
+		}
+	}
+	specs = append(specs, layerSpec{"fc", Linear, 1000, 512, 0.9})
+	return build("resnet18", false, p, specs, seed)
+}
+
+// MobileNetV2 builds the inverted-residual mobile classifier (Sandler
+// et al.): expand (1x1), depthwise (3x3) and project (1x1) convs per
+// block. Its weight bodies sit wider relative to the quantization
+// scale, which is why WDS gains less on it (Table 2).
+func MobileNetV2(seed int64) *Network {
+	p := Profile{
+		LaplaceB: 0.036, OutlierFrac: 0.02, OutlierSigma: 0.060, Lambda: 1.15,
+		Acc: quant.AccuracyModel{Metric: quant.Accuracy, Base: 71.7, DriftSens: 3.0, DriftFree: 0.35, RegGain: 0, PruneSens: 12},
+	}
+	specs := []layerSpec{{"features.0", Conv, 32, 3 * 9, 1.3}}
+	// (expansion t, out channels c, repeats n, stride) per the paper.
+	cfg := []struct {
+		t, c, n int
+	}{
+		{1, 16, 1}, {6, 24, 2}, {6, 32, 3}, {6, 64, 4}, {6, 96, 3}, {6, 160, 3}, {6, 320, 1},
+	}
+	in := 32
+	idx := 1
+	for _, blk := range cfg {
+		for r := 0; r < blk.n; r++ {
+			hid := in * blk.t
+			pre := fmt.Sprintf("features.%d", idx)
+			if blk.t != 1 {
+				specs = append(specs, layerSpec{pre + ".expand", Conv, hid, in, 1.05})
+			}
+			specs = append(specs,
+				layerSpec{pre + ".dw", DWConv, hid, 9, 1.25},
+				layerSpec{pre + ".project", Conv, blk.c, hid, 0.95},
+			)
+			in = blk.c
+			idx++
+		}
+	}
+	specs = append(specs,
+		layerSpec{"features.18", Conv, 1280, 320, 0.9},
+		layerSpec{"classifier", Linear, 1000, 1280, 0.85},
+	)
+	return build("mobilenetv2", false, p, specs, seed)
+}
+
+// YOLOv5 builds the YOLOv5s detector: CSP backbone, PANet neck and
+// detection head, modelled as its conv inventory.
+func YOLOv5(seed int64) *Network {
+	p := Profile{
+		LaplaceB: 0.019, OutlierFrac: 0.03, OutlierSigma: 0.082, Lambda: 1.02,
+		Acc: quant.AccuracyModel{Metric: quant.Accuracy, Base: 37.0, DriftSens: 2.5, DriftFree: 0.40, RegGain: 0, PruneSens: 10},
+	}
+	var specs []layerSpec
+	add := func(name string, out, in, k int, mul float64) {
+		specs = append(specs, layerSpec{name, Conv, out, in * k * k, mul})
+	}
+	// Backbone: Focus + 4 CSP stages.
+	add("model.0.conv", 32, 12, 3, 1.3)
+	widths := []int{64, 128, 256, 512}
+	reps := []int{1, 3, 3, 1}
+	in := 32
+	for s, w := range widths {
+		add(fmt.Sprintf("model.%d.down", 2*s+1), w, in, 3, 1.1)
+		for r := 0; r < reps[s]; r++ {
+			pre := fmt.Sprintf("model.%d.c3.%d", 2*s+2, r)
+			add(pre+".cv1", w/2, w, 1, 1.0)
+			add(pre+".cv2", w/2, w/2, 3, 0.95)
+			add(pre+".cv3", w, w, 1, 1.0)
+		}
+		in = w
+	}
+	// SPPF + PANet neck.
+	add("model.9.sppf", 512, 1024, 1, 0.95)
+	neck := []struct {
+		name    string
+		out, in int
+	}{
+		{"model.10.cv", 256, 512}, {"model.13.c3", 256, 512}, {"model.14.cv", 128, 256},
+		{"model.17.c3", 128, 256}, {"model.18.cv", 256, 128}, {"model.20.c3", 256, 512},
+		{"model.21.cv", 512, 256}, {"model.23.c3", 512, 1024},
+	}
+	for _, nck := range neck {
+		add(nck.name, nck.out, nck.in, 1, 0.9)
+	}
+	// Detect head: 3 scales × (80 classes + 5) × 3 anchors.
+	for i, c := range []int{128, 256, 512} {
+		add(fmt.Sprintf("model.24.m.%d", i), 255, c, 1, 1.15)
+	}
+	return build("yolov5", false, p, specs, seed)
+}
+
+// transformerBlocks appends the standard pre-norm transformer block
+// operator inventory, including the input-determined QKT and SV
+// attention products the paper singles out in §5.5.1.
+func transformerBlocks(specs []layerSpec, blocks, hidden, kvDim, mlp, seqLen int, prefix string, mulAttn, mulMLP float64) []layerSpec {
+	for b := 0; b < blocks; b++ {
+		pre := fmt.Sprintf("%s.%d", prefix, b)
+		specs = append(specs,
+			layerSpec{pre + ".attn.qkv", QKVGen, hidden + 2*kvDim, hidden, mulAttn},
+			layerSpec{pre + ".attn.qkt", QKT, seqLen, seqLen, 1},
+			layerSpec{pre + ".attn.sv", SV, seqLen, kvDim, 1},
+			layerSpec{pre + ".attn.proj", Linear, hidden, hidden, mulAttn * 0.95},
+			layerSpec{pre + ".mlp.fc1", Linear, mlp, hidden, mulMLP},
+			layerSpec{pre + ".mlp.fc2", Linear, hidden, mlp, mulMLP * 0.9},
+		)
+	}
+	return specs
+}
+
+// ViT builds ViT-B/16 (Dosovitskiy et al.).
+func ViT(seed int64) *Network {
+	p := Profile{
+		LaplaceB: 0.022, OutlierFrac: 0.025, OutlierSigma: 0.074, Lambda: 1.08,
+		Acc: quant.AccuracyModel{Metric: quant.Accuracy, Base: 81.0, DriftSens: 1.5, DriftFree: 0.50, RegGain: 0.35, PruneSens: 8},
+	}
+	specs := []layerSpec{{"patch_embed", Conv, 768, 3 * 16 * 16, 1.2}}
+	specs = transformerBlocks(specs, 12, 768, 768, 3072, 197, "blocks", 1.0, 0.95)
+	specs = append(specs, layerSpec{"head", Linear, 1000, 768, 0.9})
+	return build("vit", true, p, specs, seed)
+}
+
+// GPT2 builds GPT2-124M (Radford et al.).
+func GPT2(seed int64) *Network {
+	p := Profile{
+		LaplaceB: 0.022, OutlierFrac: 0.03, OutlierSigma: 0.076, Lambda: 1.28,
+		Acc: quant.AccuracyModel{Metric: quant.Perplexity, Base: 28.4, DriftSens: 2.0, DriftFree: 0.45, RegGain: 0.1, PruneSens: 9},
+	}
+	var specs []layerSpec
+	specs = transformerBlocks(specs, 12, 768, 768, 3072, 1024, "h", 1.05, 1.0)
+	return build("gpt2", true, p, specs, seed)
+}
+
+// Llama3 builds Llama3.2-1B (Dubey et al.): 16 blocks, hidden 2048,
+// grouped-query attention with 8 KV heads (kv dim 512) and a SwiGLU
+// MLP, modelled as gate/up/down projections.
+func Llama3(seed int64) *Network {
+	p := Profile{
+		LaplaceB: 0.024, OutlierFrac: 0.025, OutlierSigma: 0.072, Lambda: 1.05,
+		Acc: quant.AccuracyModel{Metric: quant.Perplexity, Base: 9.9, DriftSens: 2.2, DriftFree: 0.45, RegGain: 0.25, PruneSens: 10},
+	}
+	var specs []layerSpec
+	for b := 0; b < 16; b++ {
+		pre := fmt.Sprintf("layers.%d", b)
+		specs = append(specs,
+			layerSpec{pre + ".attn.q", QKVGen, 2048, 2048, 1.0},
+			layerSpec{pre + ".attn.k", QKVGen, 512, 2048, 1.05},
+			layerSpec{pre + ".attn.v", QKVGen, 512, 2048, 1.0},
+			layerSpec{pre + ".attn.qkt", QKT, 2048, 2048, 1},
+			layerSpec{pre + ".attn.sv", SV, 2048, 512, 1},
+			layerSpec{pre + ".attn.o", Linear, 2048, 2048, 0.95},
+			layerSpec{pre + ".mlp.gate", Linear, 8192, 2048, 1.0},
+			layerSpec{pre + ".mlp.up", Linear, 8192, 2048, 0.98},
+			layerSpec{pre + ".mlp.down", Linear, 2048, 8192, 0.92},
+		)
+	}
+	return build("llama3", true, p, specs, seed)
+}

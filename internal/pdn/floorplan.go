@@ -1,0 +1,97 @@
+package pdn
+
+import "fmt"
+
+// Floorplan is the layout of the paper's 7nm 256-TOPS PIM chip
+// (Fig. 16): two RISC-V cores and on-chip memory along one edge, and a
+// 4×4 array of macro-group tiles occupying the rest of the die.
+type Floorplan struct {
+	Grid   *Grid
+	Cores  Rect
+	Memory Rect
+	// GroupTiles holds one region per macro group, row-major.
+	GroupTiles []Rect
+}
+
+// ActivityCurrents are the per-component current densities (amps per
+// cell) used to build injection maps.
+type ActivityCurrents struct {
+	// CoreIdle and MemIdle are the quasi-static draws of the RISC-V
+	// cores and on-chip memory.
+	CoreIdle, MemIdle float64
+	// MacroStatic is a group tile's leakage draw.
+	MacroStatic float64
+	// MacroDynamicAtFull is the additional draw of a group tile running
+	// at Rtog = 100%; actual dynamic draw scales linearly with Rtog
+	// (paper Eq. 2).
+	MacroDynamicAtFull float64
+}
+
+// DefaultActivity is calibrated together with DefaultFloorplan so the
+// sign-off worst case (all groups at Rtog=1) produces a ~140 mV worst
+// in-macro IR-drop at Vdd=0.75 V — the figure the paper reports for
+// its chip (§1, §6.6).
+func DefaultActivity() ActivityCurrents {
+	return ActivityCurrents{CoreIdle: 0.004, MemIdle: 0.003, MacroStatic: 0.006, MacroDynamicAtFull: 0.058}
+}
+
+// DefaultFloorplan builds the 64×64-cell die: a 64×12 top strip holding
+// cores (left half) and memory (right half), and a 4×4 array of 13×13
+// group tiles below.
+func DefaultFloorplan() *Floorplan {
+	g := NewGrid(64, 64, 0.75, 18.0, 45.0, 8)
+	fp := &Floorplan{
+		Grid:   g,
+		Cores:  Rect{X0: 2, Y0: 2, X1: 30, Y1: 10},
+		Memory: Rect{X0: 34, Y0: 2, X1: 62, Y1: 10},
+	}
+	for gy := 0; gy < 4; gy++ {
+		for gx := 0; gx < 4; gx++ {
+			x0 := 2 + gx*15
+			y0 := 13 + gy*12
+			fp.GroupTiles = append(fp.GroupTiles, Rect{X0: x0, Y0: y0, X1: x0 + 13, Y1: y0 + 10})
+		}
+	}
+	return fp
+}
+
+// CurrentMap builds the injection map for the given per-group Rtog
+// activities (length = len(GroupTiles); values in [0,1]).
+func (fp *Floorplan) CurrentMap(act ActivityCurrents, groupRtog []float64) []float64 {
+	if len(groupRtog) != len(fp.GroupTiles) {
+		panic(fmt.Sprintf("pdn: %d group activities for %d tiles", len(groupRtog), len(fp.GroupTiles)))
+	}
+	cur := make([]float64, fp.Grid.W*fp.Grid.H)
+	fill := func(r Rect, amps float64) {
+		perCell := amps
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				cur[y*fp.Grid.W+x] += perCell
+			}
+		}
+	}
+	fill(fp.Cores, act.CoreIdle)
+	fill(fp.Memory, act.MemIdle)
+	for i, r := range fp.GroupTiles {
+		rt := groupRtog[i]
+		if rt < 0 || rt > 1 {
+			panic(fmt.Sprintf("pdn: group %d Rtog %v outside [0,1]", i, rt))
+		}
+		fill(r, act.MacroStatic+act.MacroDynamicAtFull*rt)
+	}
+	return cur
+}
+
+// SolveActivity is the convenience path: build the current map, solve,
+// and return the drop map plus the worst drop over all macro tiles.
+func (fp *Floorplan) SolveActivity(act ActivityCurrents, groupRtog []float64) (drop []float64, worstMacroDrop float64) {
+	cur := fp.CurrentMap(act, groupRtog)
+	v, _ := fp.Grid.Solve(cur, 1e-6, 4000)
+	drop = fp.Grid.DropMap(v)
+	for _, r := range fp.GroupTiles {
+		if d := MaxDropIn(drop, fp.Grid.W, r); d > worstMacroDrop {
+			worstMacroDrop = d
+		}
+	}
+	return drop, worstMacroDrop
+}

@@ -1,0 +1,216 @@
+// Package pdn models the chip's power delivery network as a resistive
+// mesh and solves its voltage map under a given current-injection map.
+//
+// This is the repository's substitute for the commercial post-layout
+// IR-drop tools (RedHawk) the paper uses: every floorplan cell connects
+// to its four neighbours through mesh resistance and, at bump sites, to
+// the ideal supply through a pad resistance; cells draw the current the
+// activity model assigns them. Gauss-Seidel relaxation yields the
+// steady-state voltage map, from which layout heatmaps (paper Fig. 16)
+// and per-region IR-drop numbers are derived.
+package pdn
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Grid is a W×H resistive mesh.
+type Grid struct {
+	W, H int
+	// Vdd is the ideal supply voltage (volts).
+	Vdd float64
+	// Gmesh is the conductance between neighbouring cells (1/ohm).
+	Gmesh float64
+	// Gpad is the conductance from a bump cell to the ideal supply.
+	Gpad float64
+	// pads marks bump locations.
+	pads []bool
+}
+
+// NewGrid builds a grid with a regular bump array every `pitch` cells
+// (offset pitch/2), the standard flip-chip pattern.
+func NewGrid(w, h int, vdd, gmesh, gpad float64, pitch int) *Grid {
+	if w <= 0 || h <= 0 {
+		panic("pdn: non-positive grid")
+	}
+	if pitch <= 0 {
+		panic("pdn: non-positive bump pitch")
+	}
+	g := &Grid{W: w, H: h, Vdd: vdd, Gmesh: gmesh, Gpad: gpad, pads: make([]bool, w*h)}
+	for y := pitch / 2; y < h; y += pitch {
+		for x := pitch / 2; x < w; x += pitch {
+			g.pads[y*w+x] = true
+		}
+	}
+	return g
+}
+
+// PadCount returns the number of bump sites.
+func (g *Grid) PadCount() int {
+	n := 0
+	for _, p := range g.pads {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Solve computes the steady-state voltage at every cell for the given
+// per-cell current draw (amps, length W*H), by Gauss-Seidel relaxation
+// to the given tolerance (volts). It returns the voltage map and the
+// number of sweeps used.
+func (g *Grid) Solve(current []float64, tol float64, maxIter int) ([]float64, int) {
+	if len(current) != g.W*g.H {
+		panic(fmt.Sprintf("pdn: current map size %d != %d", len(current), g.W*g.H))
+	}
+	v := make([]float64, g.W*g.H)
+	for i := range v {
+		v[i] = g.Vdd
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				i := y*g.W + x
+				sumG := 0.0
+				sumGV := 0.0
+				if x > 0 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i-1]
+				}
+				if x < g.W-1 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i+1]
+				}
+				if y > 0 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i-g.W]
+				}
+				if y < g.H-1 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i+g.W]
+				}
+				if g.pads[i] {
+					sumG += g.Gpad
+					sumGV += g.Gpad * g.Vdd
+				}
+				if sumG == 0 {
+					continue
+				}
+				nv := (sumGV - current[i]) / sumG
+				if d := math.Abs(nv - v[i]); d > maxDelta {
+					maxDelta = d
+				}
+				v[i] = nv
+			}
+		}
+		if maxDelta < tol {
+			iter++
+			break
+		}
+	}
+	return v, iter
+}
+
+// DropMap converts a voltage map into IR-drop (volts below Vdd).
+func (g *Grid) DropMap(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = g.Vdd - x
+	}
+	return out
+}
+
+// MaxDrop returns the worst IR-drop in the map.
+func MaxDrop(drop []float64) float64 {
+	m := 0.0
+	for _, d := range drop {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanDropIn averages the drop over the cells a region covers.
+func MeanDropIn(drop []float64, w int, r Rect) float64 {
+	sum, n := 0.0, 0
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			sum += drop[y*w+x]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxDropIn returns the worst drop within a region.
+func MaxDropIn(drop []float64, w int, r Rect) float64 {
+	m := 0.0
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			if d := drop[y*w+x]; d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// Rect is a half-open floorplan region [X0,X1)×[Y0,Y1).
+type Rect struct{ X0, Y0, X1, Y1 int }
+
+// Cells returns the region's area in cells.
+func (r Rect) Cells() int { return (r.X1 - r.X0) * (r.Y1 - r.Y0) }
+
+// Contains reports whether (x,y) lies in the region.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// RenderASCII draws a drop map as an ASCII heatmap (like the paper's
+// Fig. 16 voltage-supply plots), scaling between lo and hi volts.
+func RenderASCII(drop []float64, w int, lo, hi float64) string {
+	shades := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	h := len(drop) / w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := drop[y*w+x]
+			f := (d - lo) / (hi - lo)
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			sb.WriteByte(shades[int(f*float64(len(shades)-1)+0.5)])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderCSV emits the drop map as CSV rows in millivolts for external
+// plotting.
+func RenderCSV(drop []float64, w int) string {
+	var sb strings.Builder
+	h := len(drop) / w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%.2f", drop[y*w+x]*1000)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

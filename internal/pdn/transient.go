@@ -1,0 +1,112 @@
+package pdn
+
+import "fmt"
+
+// Transient extends the static mesh with per-cell capacitance — the
+// decoupling capacitors and intrinsic device capacitance that govern
+// *dynamic* IR-drop (§2.2: switching current charging/discharging
+// capacitances). The paper's circuit-level comparison point (Graphcore
+// Bow's deep-trench capacitors, §1) buys droop margin exactly this way;
+// the transient solver lets the repository show the same effect: a
+// current step produces a droop that overshoots the static solution
+// and rings back, with more capacitance flattening the excursion.
+type Transient struct {
+	Grid *Grid
+	// CapF is the per-cell capacitance in farads.
+	CapF float64
+}
+
+// NewTransient wraps a grid with uniform per-cell capacitance.
+func NewTransient(g *Grid, capF float64) *Transient {
+	if capF <= 0 {
+		panic("pdn: capacitance must be positive")
+	}
+	return &Transient{Grid: g, CapF: capF}
+}
+
+// MaxStableDt returns the explicit-Euler stability bound for the mesh:
+// dt < C / Gtotal at the best-connected cell.
+func (t *Transient) MaxStableDt() float64 {
+	g := t.Grid
+	gMax := 4*g.Gmesh + g.Gpad
+	return t.CapF / gMax
+}
+
+// Solve integrates the mesh from the all-Vdd state under a
+// time-varying current map: current(step) returns the per-cell draw at
+// that step. It returns, for each probe cell index, the voltage trace
+// over the run.
+func (t *Transient) Solve(current func(step int) []float64, dt float64, steps int, probes []int) [][]float64 {
+	g := t.Grid
+	if dt <= 0 || dt > t.MaxStableDt() {
+		panic(fmt.Sprintf("pdn: dt %g outside stable range (0, %g]", dt, t.MaxStableDt()))
+	}
+	n := g.W * g.H
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = g.Vdd
+	}
+	next := make([]float64, n)
+	traces := make([][]float64, len(probes))
+	for i := range traces {
+		traces[i] = make([]float64, 0, steps)
+	}
+	for s := 0; s < steps; s++ {
+		cur := current(s)
+		if len(cur) != n {
+			panic("pdn: current map size mismatch")
+		}
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				i := y*g.W + x
+				flow := -cur[i]
+				if x > 0 {
+					flow += g.Gmesh * (v[i-1] - v[i])
+				}
+				if x < g.W-1 {
+					flow += g.Gmesh * (v[i+1] - v[i])
+				}
+				if y > 0 {
+					flow += g.Gmesh * (v[i-g.W] - v[i])
+				}
+				if y < g.H-1 {
+					flow += g.Gmesh * (v[i+g.W] - v[i])
+				}
+				if g.pads[i] {
+					flow += g.Gpad * (g.Vdd - v[i])
+				}
+				next[i] = v[i] + dt*flow/t.CapF
+			}
+		}
+		v, next = next, v
+		for pi, p := range probes {
+			traces[pi] = append(traces[pi], v[p])
+		}
+	}
+	return traces
+}
+
+// StepResponse applies a current step (zero before stepAt, the given
+// map after) and returns the probe traces — the classic droop
+// waveform.
+func (t *Transient) StepResponse(onCurrent []float64, stepAt, dt float64, steps int, probes []int) [][]float64 {
+	n := t.Grid.W * t.Grid.H
+	zero := make([]float64, n)
+	return t.Solve(func(s int) []float64 {
+		if float64(s)*dt < stepAt {
+			return zero
+		}
+		return onCurrent
+	}, dt, steps, probes)
+}
+
+// MinOf returns the deepest excursion of a trace.
+func MinOf(trace []float64) float64 {
+	m := trace[0]
+	for _, v := range trace[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

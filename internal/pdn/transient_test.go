@@ -1,0 +1,113 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+func transientFixture(capF float64) (*Transient, []float64, int) {
+	g := NewGrid(12, 12, 0.75, 10, 50, 4)
+	cur := make([]float64, 144)
+	for i := range cur {
+		cur[i] = 0.004
+	}
+	probe := 6*12 + 6 // die center
+	return NewTransient(g, capF), cur, probe
+}
+
+func TestTransientValidation(t *testing.T) {
+	g := NewGrid(4, 4, 0.75, 10, 50, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for zero capacitance")
+			}
+		}()
+		NewTransient(g, 0)
+	}()
+	tr := NewTransient(g, 1e-9)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for unstable dt")
+			}
+		}()
+		tr.Solve(func(int) []float64 { return make([]float64, 16) }, 1, 1, nil)
+	}()
+}
+
+func TestTransientConvergesToStatic(t *testing.T) {
+	tr, cur, probe := transientFixture(1e-9)
+	dt := tr.MaxStableDt() * 0.5
+	traces := tr.Solve(func(int) []float64 { return cur }, dt, 4000, []int{probe})
+	final := traces[0][len(traces[0])-1]
+	vStatic, _ := tr.Grid.Solve(cur, 1e-9, 5000)
+	if math.Abs(final-vStatic[probe]) > 1e-4 {
+		t.Errorf("transient settles at %v, static %v", final, vStatic[probe])
+	}
+}
+
+func TestTransientZeroCurrentStaysAtVdd(t *testing.T) {
+	tr, _, probe := transientFixture(1e-9)
+	dt := tr.MaxStableDt() * 0.5
+	traces := tr.Solve(func(int) []float64 { return make([]float64, 144) }, dt, 200, []int{probe})
+	for _, v := range traces[0] {
+		if math.Abs(v-0.75) > 1e-12 {
+			t.Fatalf("voltage moved without current: %v", v)
+		}
+	}
+}
+
+func TestStepResponseDroops(t *testing.T) {
+	tr, cur, probe := transientFixture(1e-9)
+	dt := tr.MaxStableDt() * 0.5
+	traces := tr.StepResponse(cur, dt*100, dt, 3000, []int{probe})
+	trace := traces[0]
+	// Before the step: Vdd. After: monotone droop toward the static
+	// level (first-order RC mesh: no ringing).
+	if trace[50] != 0.75 {
+		t.Errorf("pre-step voltage %v", trace[50])
+	}
+	min := MinOf(trace)
+	if min >= 0.75-1e-6 {
+		t.Error("no droop after current step")
+	}
+	vStatic, _ := tr.Grid.Solve(cur, 1e-9, 5000)
+	if min < vStatic[probe]-1e-4 {
+		t.Errorf("droop %v undershoots the static level %v (instability)", min, vStatic[probe])
+	}
+}
+
+// The Graphcore-Bow effect (§1): more decoupling capacitance slows the
+// droop, so at a fixed early observation time the excursion is smaller.
+func TestMoreDecapSlowsDroop(t *testing.T) {
+	observe := 2.0e-9 // seconds after the step
+	depthAt := func(capF float64) float64 {
+		tr, cur, probe := transientFixture(capF)
+		dt := tr.MaxStableDt() * 0.5
+		steps := int(observe/dt) + 1
+		traces := tr.Solve(func(int) []float64 { return cur }, dt, steps, []int{probe})
+		return 0.75 - traces[0][len(traces[0])-1]
+	}
+	small := depthAt(1e-9)
+	large := depthAt(8e-9)
+	if large >= small {
+		t.Errorf("8x decap droop %v should be below baseline %v at t=%v", large, small, observe)
+	}
+}
+
+func TestTransientCurrentSizePanic(t *testing.T) {
+	tr, _, _ := transientFixture(1e-9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Solve(func(int) []float64 { return make([]float64, 3) }, tr.MaxStableDt()*0.5, 1, nil)
+}
+
+func TestMinOf(t *testing.T) {
+	if MinOf([]float64{3, 1, 2}) != 1 {
+		t.Error("MinOf wrong")
+	}
+}

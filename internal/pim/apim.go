@@ -1,0 +1,115 @@
+package pim
+
+import (
+	"math"
+
+	"aim/internal/xrand"
+)
+
+// Analog PIM path (Fig. 1a): products accumulate as bit-line voltage
+// and an ADC digitizes the sum per bit plane. Two analog non-idealities
+// matter for AIM (§3.1, §7): finite ADC resolution quantizes each bit
+// plane's popcount-weighted sum, and IR-drop perturbs the bit-line
+// voltage, directly degrading computational accuracy — which is why
+// APIM benefits from IR-drop mitigation in output quality, not just
+// power.
+
+// ADC models the per-bit-plane converter.
+type ADC struct {
+	// Bits is the converter resolution.
+	Bits int
+	// FullScale is the largest per-plane analog sum the ADC spans
+	// (typically the bank's cell count times the max input bit value).
+	FullScale float64
+}
+
+// Convert digitizes an analog plane sum: uniform quantization over
+// [-FullScale, FullScale].
+func (a ADC) Convert(analog float64) int64 {
+	if a.FullScale <= 0 {
+		panic("pim: ADC full scale must be positive")
+	}
+	levels := float64(int64(1) << uint(a.Bits-1))
+	step := a.FullScale / levels
+	q := math.Round(analog / step)
+	if q > levels-1 {
+		q = levels - 1
+	}
+	if q < -levels {
+		q = -levels
+	}
+	return int64(q * step)
+}
+
+// AnalogBank wraps a Bank with the APIM read-out path.
+type AnalogBank struct {
+	*Bank
+	ADC ADC
+	// DropGainPerMV converts supply drop (mV) into relative bit-line
+	// voltage error; calibrated so the §3.1 effect is visible but small
+	// at mitigated drop levels.
+	DropGainPerMV float64
+}
+
+// NewAnalogBank builds an analog bank with an ADC spanning the bank's
+// worst-case plane sum.
+func NewAnalogBank(codes []int32, cells, weightBits, adcBits int) *AnalogBank {
+	b := NewBank(codes, cells, weightBits)
+	maxW := float64(int64(1)<<uint(weightBits-1)) - 1
+	return &AnalogBank{
+		Bank:          b,
+		ADC:           ADC{Bits: adcBits, FullScale: float64(cells) * maxW},
+		DropGainPerMV: 0.00035,
+	}
+}
+
+// DotAnalog computes the bank's MAC through the analog path: per input
+// bit plane, the products accumulate as an analog sum perturbed by the
+// supply drop, the ADC digitizes it, and the shift-adder combines the
+// planes. dropMV is the instantaneous IR-drop; rng supplies the
+// bit-line noise (nil for the ideal, noise-free path).
+func (b *AnalogBank) DotAnalog(input []int32, inBits int, dropMV float64, rng *xrand.RNG) int64 {
+	if len(input) != b.Cells() {
+		panic("pim: input width != bank cells")
+	}
+	var acc int64
+	gain := 1 - b.DropGainPerMV*dropMV
+	for i := 0; i < inBits; i++ {
+		var plane float64
+		for k, w := range b.weights {
+			bit := (uint32(input[k]) >> uint(i)) & 1
+			if bit != 0 {
+				plane += float64(w)
+			}
+		}
+		analog := plane * gain
+		if rng != nil && dropMV > 0 {
+			analog += rng.Normal(0, b.DropGainPerMV*dropMV*b.ADC.FullScale/64)
+		}
+		digital := b.ADC.Convert(analog)
+		if i == inBits-1 {
+			acc -= digital << uint(i)
+		} else {
+			acc += digital << uint(i)
+		}
+	}
+	return acc
+}
+
+// AnalogError runs DotAnalog against the exact digital result and
+// returns the mean absolute relative error over trials — the §3.1
+// accuracy-degradation measurement.
+func (b *AnalogBank) AnalogError(inBits int, dropMV float64, trials int, rng *xrand.RNG) float64 {
+	errSum, refSum := 0.0, 0.0
+	input := make([]int32, b.Cells())
+	for t := 0; t < trials; t++ {
+		for k := range input {
+			input[k] = int32(rng.Intn(1<<uint(inBits-1)) - 1<<uint(inBits-2))
+		}
+		exact := b.DotDirect(input)
+		got := b.DotAnalog(input, inBits, dropMV, rng)
+		errSum += math.Abs(float64(got - exact))
+		refSum += math.Abs(float64(exact)) + 1
+	}
+	return errSum / refSum
+}

@@ -1,0 +1,73 @@
+package pim
+
+import "math/bits"
+
+// ShiftCompensator models the WDS correction hardware of §5.4.2
+// (Fig. 8): one compensator sits beside a macro's banks, shares their
+// input stream, and performs
+//
+//	❶ Correction calculation: PSUM' = Sum(inputs) << log2(δ);
+//	                          Correction = ~PSUM' + 1   (negation)
+//	❷ Broadcast: one correction term serves all banks
+//	❸ Pipelined correcting: a register delays application by one cycle
+//	  so the correction add never sits on the MAC critical path.
+//
+// δ must be a power of two (the multiply is a shift).
+type ShiftCompensator struct {
+	shift uint
+	// reg is the pipeline register between correction calculation and
+	// the correcting addition.
+	reg    int64
+	primed bool
+}
+
+// NewShiftCompensator builds a compensator for shift δ.
+func NewShiftCompensator(delta int) *ShiftCompensator {
+	if delta <= 0 || delta&(delta-1) != 0 {
+		panic("pim: shift compensator delta must be a positive power of two")
+	}
+	return &ShiftCompensator{shift: uint(bits.TrailingZeros(uint(delta)))}
+}
+
+// Delta returns δ.
+func (c *ShiftCompensator) Delta() int { return 1 << c.shift }
+
+// Step advances the pipeline one cycle: it computes the correction for
+// the current cycle's input sum (❶, using shift and two's-complement
+// negation exactly as the hardware does) and returns the correction
+// computed in the *previous* cycle (❸), with ok reporting whether the
+// pipeline was primed. The first cycle yields ok=false: the MAC result
+// of cycle t is corrected at cycle t+1.
+func (c *ShiftCompensator) Step(inputSum int64) (correction int64, ok bool) {
+	correction, ok = c.reg, c.primed
+	psum := inputSum << c.shift
+	c.reg = ^psum + 1 // two's-complement negation: -Sum(inputs)·δ
+	c.primed = true
+	return correction, ok
+}
+
+// CorrectionFor is the combinational value ❶ produces for an input sum
+// (exposed for verification against quant.Correction).
+func (c *ShiftCompensator) CorrectionFor(inputSum int64) int64 {
+	return ^(inputSum << c.shift) + 1
+}
+
+// SCOverhead reports the area and power cost of the compensator
+// relative to the whole PIM chip. The paper's synthesis results
+// (§6.10.2) put it under 0.2% area and under 1% power because all
+// banks of a macro share one compensator; the model scales the per-bank
+// fraction accordingly.
+func SCOverhead(cfg Config) (areaFrac, powerFrac float64) {
+	// One adder + register + shifter versus BanksPerMacro full
+	// bank datapaths: a bank's MAC datapath is roughly CellsPerBank
+	// multipliers plus an adder tree; the compensator is about two
+	// adder-equivalents wide.
+	perMacroCost := 2.0
+	macroCost := float64(cfg.BanksPerMacro) * (float64(cfg.CellsPerBank)/8 + 4)
+	areaFrac = perMacroCost / macroCost
+	// The compensator toggles once per cycle versus the banks' full
+	// activity; its dynamic power fraction is a few times its area
+	// fraction because it always switches.
+	powerFrac = 4 * areaFrac
+	return areaFrac, powerFrac
+}

@@ -1,0 +1,166 @@
+package pim
+
+import (
+	"fmt"
+
+	"aim/internal/fxp"
+)
+
+// Engine executes weight-stationary integer matrix-vector products on
+// the macro fabric, the way the chip actually computes (Fig. 1b /
+// Fig. 11): the weight matrix is tiled column-wise into input chunks of
+// CellsPerBank (all banks of a macro share those input lines) and
+// row-wise into bank groups of BanksPerMacro; each macro produces
+// BanksPerMacro partial sums per input chunk, and partial sums are
+// accumulated across the macros of the logical set (the A_ij waves).
+//
+// With a WDS δ configured, the engine loads shifted weights and applies
+// the shared shift-compensator correction per input chunk — the full
+// Algorithm 1 in hardware form.
+type Engine struct {
+	cfg    Config
+	rows   int
+	cols   int
+	delta  int
+	macros [][]*Macro // [rowTile][colTile]
+	comps  []*ShiftCompensator
+	// clamped counts weights saturated by the WDS shift.
+	clamped int
+}
+
+// NewEngine loads the weight matrix W (rows×cols, codes at the config's
+// weight width) onto macros. delta=0 loads weights as-is; a positive
+// power-of-two delta loads WDS-shifted weights and arms compensators.
+func NewEngine(cfg Config, w [][]int32, delta int) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(w) == 0 || len(w[0]) == 0 {
+		panic("pim: empty weight matrix")
+	}
+	if delta < 0 || (delta != 0 && delta&(delta-1) != 0) {
+		panic("pim: engine delta must be 0 or a power of two")
+	}
+	rows, cols := len(w), len(w[0])
+	e := &Engine{cfg: cfg, rows: rows, cols: cols, delta: delta}
+	hi := fxp.MaxInt(cfg.WeightBits)
+	rowTiles := (rows + cfg.BanksPerMacro - 1) / cfg.BanksPerMacro
+	colTiles := (cols + cfg.CellsPerBank - 1) / cfg.CellsPerBank
+	for rt := 0; rt < rowTiles; rt++ {
+		var tileRow []*Macro
+		for ct := 0; ct < colTiles; ct++ {
+			codes := make([]int32, 0, cfg.WeightsPerMacro())
+			for br := 0; br < cfg.BanksPerMacro; br++ {
+				r := rt*cfg.BanksPerMacro + br
+				bank := make([]int32, cfg.CellsPerBank)
+				if r < rows {
+					for k := 0; k < cfg.CellsPerBank; k++ {
+						c := ct*cfg.CellsPerBank + k
+						if c < cols {
+							v := int64(w[r][c]) + int64(delta)
+							if v > int64(hi) {
+								v = int64(hi)
+								e.clamped++
+							}
+							bank[k] = int32(v)
+						}
+					}
+				}
+				codes = append(codes, bank...)
+			}
+			tileRow = append(tileRow, NewMacro(cfg, codes))
+		}
+		e.macros = append(e.macros, tileRow)
+	}
+	if delta > 0 {
+		// One compensator per column tile (it is shared by all banks of
+		// the macros consuming that input chunk, §5.4.2).
+		for ct := 0; ct < colTiles; ct++ {
+			e.comps = append(e.comps, NewShiftCompensator(delta))
+		}
+	}
+	return e
+}
+
+// Rows and Cols report the logical matrix shape.
+func (e *Engine) Rows() int { return e.rows }
+
+// Cols reports the logical column count.
+func (e *Engine) Cols() int { return e.cols }
+
+// ClampedWeights reports how many weights saturated under WDS.
+func (e *Engine) ClampedWeights() int { return e.clamped }
+
+// MacroCount reports the fabric size used.
+func (e *Engine) MacroCount() int {
+	if len(e.macros) == 0 {
+		return 0
+	}
+	return len(e.macros) * len(e.macros[0])
+}
+
+// MatVec computes out = W·x exactly, via bit-serial bank dot products
+// and cross-macro partial-sum accumulation; with WDS configured the
+// compensator corrections restore the unshifted result for all
+// non-clamped weights.
+func (e *Engine) MatVec(x []int32, inBits int) []int64 {
+	if len(x) != e.cols {
+		panic(fmt.Sprintf("pim: input length %d != cols %d", len(x), e.cols))
+	}
+	out := make([]int64, e.rows)
+	chunk := make([]int32, e.cfg.CellsPerBank)
+	for ct := 0; ct < len(e.macros[0]); ct++ {
+		// Build the shared input chunk (zero-padded at the edge).
+		for k := range chunk {
+			c := ct*e.cfg.CellsPerBank + k
+			if c < e.cols {
+				chunk[k] = x[c]
+			} else {
+				chunk[k] = 0
+			}
+		}
+		var corr int64
+		if e.delta > 0 {
+			var sum int64
+			for _, v := range chunk {
+				sum += int64(v)
+			}
+			corr = e.comps[ct].CorrectionFor(sum)
+		}
+		for rt, tileRow := range e.macros {
+			m := tileRow[ct]
+			for br, bank := range m.Banks() {
+				r := rt*e.cfg.BanksPerMacro + br
+				if r >= e.rows {
+					break
+				}
+				psum := bank.DotSerial(chunk, inBits)
+				if e.delta > 0 {
+					// ❷/❸: the broadcast correction is added to every
+					// bank's partial sum (one pipeline stage later in
+					// hardware; algebraically identical here).
+					psum += corr
+				}
+				out[r] += psum
+			}
+		}
+	}
+	return out
+}
+
+// HR returns the Hamming rate of the loaded (possibly shifted) weights
+// across the whole fabric — what IR-Booster sees after task mapping.
+func (e *Engine) HR() float64 {
+	totalHM := 0
+	cells := 0
+	for _, tileRow := range e.macros {
+		for _, m := range tileRow {
+			totalHM += m.hm
+			cells += m.cells
+		}
+	}
+	if cells == 0 {
+		return 0
+	}
+	return float64(totalHM) / float64(cells*e.cfg.WeightBits)
+}

@@ -1,0 +1,243 @@
+// Package pim is the cycle-level bit-serial SRAM PIM macro simulator:
+// banks of SRAM cells holding quantized weights, bit-serial word-line
+// inputs, adder-tree accumulation, the Rtog activity engine (paper
+// Eq. 1), and the WDS shift compensator hardware model (Fig. 8).
+//
+// The chip the paper evaluates — a 7nm, 256-TOPS design with 16 macro
+// groups of 4 macros each — is the package's default geometry.
+package pim
+
+import (
+	"fmt"
+
+	"aim/internal/fxp"
+	"aim/internal/stream"
+)
+
+// MacroKind distinguishes the two SRAM PIM families of §2.1.
+type MacroKind int
+
+const (
+	// DPIM accumulates digitally through adder trees (Fig. 1b).
+	DPIM MacroKind = iota
+	// APIM accumulates as analog bit-line voltage read by ADCs (Fig. 1a).
+	APIM
+)
+
+// String names the kind.
+func (k MacroKind) String() string {
+	if k == APIM {
+		return "APIM"
+	}
+	return "DPIM"
+}
+
+// Config describes the chip geometry.
+type Config struct {
+	Kind           MacroKind
+	Groups         int // macro groups sharing power and frequency
+	MacrosPerGroup int
+	BanksPerMacro  int
+	CellsPerBank   int // weights per bank (word lines)
+	WeightBits     int
+}
+
+// DefaultConfig is the paper's 7nm 256-TOPS DPIM chip: 16 groups × 4
+// macros (§6.1), with 64 banks of 128 cells per macro.
+func DefaultConfig() Config {
+	return Config{Kind: DPIM, Groups: 16, MacrosPerGroup: 4, BanksPerMacro: 64, CellsPerBank: 128, WeightBits: 8}
+}
+
+// APIMConfig is the 28nm 128×32 APIM macro of §7.
+func APIMConfig() Config {
+	return Config{Kind: APIM, Groups: 1, MacrosPerGroup: 1, BanksPerMacro: 32, CellsPerBank: 128, WeightBits: 8}
+}
+
+// Macros returns the total macro count.
+func (c Config) Macros() int { return c.Groups * c.MacrosPerGroup }
+
+// WeightsPerMacro returns the weight capacity of one macro.
+func (c Config) WeightsPerMacro() int { return c.BanksPerMacro * c.CellsPerBank }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Groups <= 0 || c.MacrosPerGroup <= 0 || c.BanksPerMacro <= 0 || c.CellsPerBank <= 0 {
+		return fmt.Errorf("pim: non-positive geometry %+v", c)
+	}
+	if c.WeightBits < 2 || c.WeightBits > 16 {
+		return fmt.Errorf("pim: weight bits %d out of range", c.WeightBits)
+	}
+	return nil
+}
+
+// Bank is one SRAM bank: CellsPerBank stored weights engaged in
+// bit-wise multiplication with the shared bit-serial input lines.
+type Bank struct {
+	weights []int32
+	hams    []int // cached per-cell Hamming weights
+	bits    int
+	hm      int
+}
+
+// NewBank stores the given weight codes (length ≤ cells; the rest of
+// the bank holds zeros, as unused rows do in silicon).
+func NewBank(codes []int32, cells, bits int) *Bank {
+	if len(codes) > cells {
+		panic("pim: more codes than cells")
+	}
+	b := &Bank{weights: make([]int32, cells), hams: make([]int, cells), bits: bits}
+	copy(b.weights, codes)
+	for i, w := range b.weights {
+		h := fxp.Hamming(w, bits)
+		b.hams[i] = h
+		b.hm += h
+	}
+	return b
+}
+
+// Cells returns the bank size.
+func (b *Bank) Cells() int { return len(b.weights) }
+
+// HR returns the Hamming rate of the bank's stored weights.
+func (b *Bank) HR() float64 {
+	if len(b.weights) == 0 {
+		return 0
+	}
+	return float64(b.hm) / float64(len(b.weights)*b.bits)
+}
+
+// RtogCycle evaluates Eq. 1 for one cycle: the fraction of stored
+// weight bits ANDed with a toggling input line,
+//
+//	Rtog = Σ_k Hamming(W_k)·toggle_k / (n·q).
+func (b *Bank) RtogCycle(toggles []uint8) float64 {
+	if len(toggles) != len(b.weights) {
+		panic("pim: toggle width != bank cells")
+	}
+	sum := 0
+	for k, tg := range toggles {
+		if tg != 0 {
+			sum += b.hams[k]
+		}
+	}
+	return float64(sum) / float64(len(b.weights)*b.bits)
+}
+
+// DotSerial computes the bank's multiply-accumulate for one input
+// vector, bit-serially: partial products of each input bit plane are
+// shifted and added exactly as the shift-adder of Fig. 1 does.
+func (b *Bank) DotSerial(input []int32, inBits int) int64 {
+	if len(input) != len(b.weights) {
+		panic("pim: input width != bank cells")
+	}
+	var acc int64
+	for i := 0; i < inBits; i++ {
+		var plane int64
+		for k, w := range b.weights {
+			bit := int64(fxp.Bit(input[k], i, inBits))
+			plane += bit * int64(w)
+		}
+		if i == inBits-1 {
+			// Two's complement: the MSB plane carries negative weight.
+			acc -= plane << uint(i)
+		} else {
+			acc += plane << uint(i)
+		}
+	}
+	return acc
+}
+
+// DotDirect is the reference integer dot product used to verify the
+// bit-serial path.
+func (b *Bank) DotDirect(input []int32) int64 {
+	var acc int64
+	for k, w := range b.weights {
+		acc += int64(w) * int64(input[k])
+	}
+	return acc
+}
+
+// Macro is a PIM macro: banks sharing the same bit-serial input lines
+// (§5.4.2: "All banks within a Macro share the same input streams").
+type Macro struct {
+	cfg   Config
+	banks []*Bank
+	hm    int
+	cells int
+}
+
+// NewMacro loads weight codes into a macro, filling banks in order;
+// len(codes) must not exceed the macro capacity.
+func NewMacro(cfg Config, codes []int32) *Macro {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(codes) > cfg.WeightsPerMacro() {
+		panic("pim: weight count exceeds macro capacity")
+	}
+	m := &Macro{cfg: cfg}
+	for start := 0; start < len(codes) || len(m.banks) < cfg.BanksPerMacro; start += cfg.CellsPerBank {
+		if len(m.banks) == cfg.BanksPerMacro {
+			break
+		}
+		end := start + cfg.CellsPerBank
+		if end > len(codes) {
+			end = len(codes)
+		}
+		var chunk []int32
+		if start < len(codes) {
+			chunk = codes[start:end]
+		}
+		bank := NewBank(chunk, cfg.CellsPerBank, cfg.WeightBits)
+		m.banks = append(m.banks, bank)
+		m.hm += bank.hm
+		m.cells += bank.Cells()
+	}
+	return m
+}
+
+// Config returns the macro geometry.
+func (m *Macro) Config() Config { return m.cfg }
+
+// Banks returns the macro's banks.
+func (m *Macro) Banks() []*Bank { return m.banks }
+
+// HR returns the Hamming rate over all stored weights of the macro —
+// the quantity IR-Booster receives per macro after task mapping.
+func (m *Macro) HR() float64 {
+	if m.cells == 0 {
+		return 0
+	}
+	return float64(m.hm) / float64(m.cells*m.cfg.WeightBits)
+}
+
+// RtogCycle returns the macro-average Rtog for one cycle; toggles are
+// the shared input-line toggles (length CellsPerBank).
+func (m *Macro) RtogCycle(toggles []uint8) float64 {
+	sum := 0
+	for _, b := range m.banks {
+		for k, tg := range toggles {
+			if tg != 0 {
+				sum += b.hams[k]
+			}
+		}
+	}
+	return float64(sum) / float64(m.cells*m.cfg.WeightBits)
+}
+
+// RtogTrace runs a toggle source to exhaustion (or maxCycles, if
+// positive) and returns the per-cycle macro Rtog series.
+func (m *Macro) RtogTrace(src stream.ToggleSource, maxCycles int) []float64 {
+	if src.Cells() != m.cfg.CellsPerBank {
+		panic("pim: toggle source width != cells per bank")
+	}
+	dst := make([]uint8, src.Cells())
+	var out []float64
+	for src.NextToggles(dst) {
+		out = append(out, m.RtogCycle(dst))
+		if maxCycles > 0 && len(out) >= maxCycles {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package quant
+
+import "math"
+
+// Metric distinguishes the two quality measures the paper reports.
+type Metric int
+
+const (
+	// Accuracy is top-1 accuracy in percent (higher is better).
+	Accuracy Metric = iota
+	// Perplexity is language-model perplexity (lower is better).
+	Perplexity
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	if m == Perplexity {
+		return "ppl"
+	}
+	return "acc(%)"
+}
+
+// AccuracyModel is the surrogate quality model documented in DESIGN.md.
+//
+// The repository has no pretrained networks or datasets, so the effect
+// of weight perturbations on task quality is modelled instead of
+// measured: quality degrades smoothly with the mean absolute code drift
+// a transformation causes, saturating QAT's ability to re-adapt, plus a
+// small regularization bonus (the paper observes ViT and Llama3
+// *improve* under LHR, attributing it to better generalization). The
+// model is monotone in true perturbation magnitude, which is all the
+// paper's Fig. 13/15 and Table 3 claims require. Real, measured accuracy
+// for the same code path is demonstrated on a trainable mini-MLP in
+// examples/quantlab.
+type AccuracyModel struct {
+	Metric Metric
+	// Base is the baseline quantized quality (accuracy % or perplexity).
+	Base float64
+	// DriftSens is quality lost per unit mean-absolute code drift beyond
+	// what QAT re-adaptation absorbs.
+	DriftSens float64
+	// DriftFree is the drift magnitude QAT absorbs at no cost.
+	DriftFree float64
+	// RegGain is the small quality bonus from the regularization effect.
+	RegGain float64
+	// PruneSens scales the quality loss of magnitude pruning.
+	PruneSens float64
+}
+
+// AfterDrift returns the modelled quality after a transformation that
+// moved codes by meanAbsDrift on average (LHR tuning, WDS overflow
+// clamping converted to an equivalent drift, etc.).
+func (m AccuracyModel) AfterDrift(meanAbsDrift float64) float64 {
+	excess := meanAbsDrift - m.DriftFree
+	if excess < 0 {
+		excess = 0
+	}
+	loss := m.DriftSens * excess * excess
+	return m.apply(loss - m.RegGain)
+}
+
+// AfterPrune returns the modelled quality at the given sparsity, with
+// optional additional drift (e.g. pruning combined with LHR).
+func (m AccuracyModel) AfterPrune(sparsity, meanAbsDrift float64) float64 {
+	pruneLoss := m.PruneSens * math.Pow(sparsity, 2.2)
+	excess := meanAbsDrift - m.DriftFree
+	if excess < 0 {
+		excess = 0
+	}
+	loss := pruneLoss + m.DriftSens*excess*excess
+	return m.apply(loss - m.RegGain)
+}
+
+// apply maps a quality *loss* onto the metric respecting its direction.
+func (m AccuracyModel) apply(loss float64) float64 {
+	if m.Metric == Perplexity {
+		return m.Base + loss*m.pplScale()
+	}
+	return m.Base - loss
+}
+
+// pplScale converts percent-style losses into perplexity points at a
+// magnitude consistent with the paper's Table 3 (fractions of a point).
+func (m AccuracyModel) pplScale() float64 { return m.Base / 100 }

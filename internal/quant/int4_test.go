@@ -1,0 +1,106 @@
+package quant
+
+import (
+	"testing"
+
+	"aim/internal/tensor"
+)
+
+// The paper's §5.4.1: for INT4 quantization, δ values of 2 or 4 are
+// the suitable WDS shifts (powers of two aligned with the 4-bit
+// Hamming minima).
+
+// int4Tensor mimics INT4 deployment practice: the heavy-tailed body is
+// clipped (per-channel clipping is standard at 4 bits), so codes
+// spread across the narrow [-8,7] range instead of collapsing onto
+// {-1,0,1}.
+func int4Tensor(seed int64, n int) *tensor.Float {
+	w := laplaceTensor(seed, n, 0.05)
+	w.Apply(func(v float64) float64 {
+		if v > 0.12 {
+			return 0.12
+		}
+		if v < -0.12 {
+			return -0.12
+		}
+		return v
+	})
+	return w
+}
+
+func TestInt4BaselineHRNearHalf(t *testing.T) {
+	w := int4Tensor(41, 1<<15)
+	hr := Quantize(w, 4).HR()
+	if hr < 0.40 || hr > 0.60 {
+		t.Errorf("INT4 baseline HR = %v, want ~0.5", hr)
+	}
+}
+
+func TestInt4LHRReducesHR(t *testing.T) {
+	w := int4Tensor(42, 1<<14)
+	opt := DefaultLHROptions()
+	opt.Window = 2 // INT4 codes span only ±8; drift must stay small
+	res := ApplyLHR(w, 4, opt)
+	if res.After.HR() >= res.Before.HR() {
+		t.Fatalf("INT4 LHR failed: %v -> %v", res.Before.HR(), res.After.HR())
+	}
+}
+
+func TestInt4WDSDeltas(t *testing.T) {
+	// §5.4.1: for INT4, δ ∈ {2, 4} are the suitable shifts: they move
+	// the high-Hamming small-negative codes across zero. (With a
+	// full-strength LHR pass first, INT4's tiny range leaves no
+	// negative mass for WDS to harvest — the methods overlap at 4 bits
+	// — so the shift is evaluated against the quantized baseline, with
+	// a mild LHR pass checked separately below.)
+	w := int4Tensor(43, 1<<15)
+	q := Quantize(w, 4)
+	base := q.HR()
+	_, hr2, _ := WDSGain(q, 2)
+	_, hr4, _ := WDSGain(q, 4)
+	if hr2 >= base {
+		t.Errorf("INT4 WDS(2) did not reduce HR: %v -> %v", base, hr2)
+	}
+	// δ=4 suitability is distribution-dependent at 4 bits (the shift
+	// spans half the positive range); it must at least stay close to
+	// neutral and never beat δ=2 on this body.
+	if hr4 > base*1.05 {
+		t.Errorf("INT4 WDS(4) raised HR too much: %v -> %v", base, hr4)
+	}
+	if hr2 >= hr4 {
+		t.Errorf("INT4 δ=2 (%v) should beat δ=4 (%v) on a clipped Laplace body", hr2, hr4)
+	}
+	// Mild LHR (λ far below the INT8 setting: the 4-bit range is tiny)
+	// composes with WDS(2).
+	opt := DefaultLHROptions()
+	opt.Lambda = 0.2
+	opt.Window = 1
+	res := ApplyLHR(w, 4, opt)
+	_, hrBoth, _ := WDSGain(res.After, 2)
+	if hrBoth >= base {
+		t.Errorf("INT4 LHR+WDS(2) (%v) should beat baseline (%v)", hrBoth, base)
+	}
+}
+
+func TestInt4RoundTrip(t *testing.T) {
+	w := int4Tensor(44, 4096)
+	q := Quantize(w, 4)
+	for _, c := range q.Codes.Data {
+		if c < -8 || c > 7 {
+			t.Fatalf("INT4 code %d out of range", c)
+		}
+	}
+}
+
+func TestInt4WDSOverflowStillRare(t *testing.T) {
+	w := int4Tensor(45, 1<<14)
+	opt := DefaultLHROptions()
+	opt.Window = 2
+	res := ApplyLHR(w, 4, opt)
+	_, _, ovf := WDSGain(res.After, 2)
+	// INT4's tiny range clamps more than INT8, but the shift must stay
+	// far from mainstream mass.
+	if ovf > 0.08 {
+		t.Errorf("INT4 WDS(2) overflow = %v, too common", ovf)
+	}
+}

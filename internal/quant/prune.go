@@ -1,0 +1,94 @@
+package quant
+
+import (
+	"math"
+	"sort"
+
+	"aim/internal/fxp"
+	"aim/internal/tensor"
+)
+
+// small local aliases so ptq.go reads cleanly.
+func clamp(v int64, bits int) int32 { return fxp.Clamp(v, bits) }
+func hamming(v int32, bits int) int { return fxp.Hamming(v, bits) }
+func floor(x float64) float64       { return math.Floor(x) }
+
+// PruneMagnitude zeroes the fraction `sparsity` of weights with the
+// smallest absolute values (global magnitude pruning). This is the
+// single step of the gradual schedule below and the primitive the
+// paper's Fig. 15 comparison uses (SparseML GMP*).
+func PruneMagnitude(w *tensor.Float, sparsity float64) *tensor.Float {
+	if sparsity < 0 || sparsity >= 1 {
+		panic("quant: sparsity must be in [0,1)")
+	}
+	out := w.Clone()
+	n := len(out.Data)
+	if n == 0 {
+		return out
+	}
+	mags := make([]float64, n)
+	for i, v := range out.Data {
+		mags[i] = math.Abs(v)
+	}
+	sort.Float64s(mags)
+	k := int(sparsity * float64(n))
+	if k == 0 {
+		return out
+	}
+	threshold := mags[k-1]
+	zeroed := 0
+	for i, v := range out.Data {
+		if math.Abs(v) <= threshold && zeroed < k {
+			out.Data[i] = 0
+			zeroed++
+		}
+	}
+	return out
+}
+
+// GMPSchedule is a gradual magnitude pruning schedule (Zhu & Gupta
+// cubic ramp, the GMP* default): sparsity rises from 0 to Target over
+// Steps steps.
+type GMPSchedule struct {
+	Target float64
+	Steps  int
+}
+
+// SparsityAt returns the schedule's sparsity at step t (0-based); after
+// the last step it stays at Target.
+func (g GMPSchedule) SparsityAt(t int) float64 {
+	if g.Steps <= 1 || t >= g.Steps-1 {
+		return g.Target
+	}
+	if t < 0 {
+		return 0
+	}
+	frac := float64(t) / float64(g.Steps-1)
+	return g.Target * (1 - math.Pow(1-frac, 3))
+}
+
+// RunGMP applies the gradual schedule; because magnitude pruning is
+// monotone (a weight once below threshold stays prunable), the final
+// mask equals one-shot pruning at Target, but intermediate sparsities
+// are exposed for the Fig. 15 sweep and for tests of the ramp shape.
+func RunGMP(w *tensor.Float, sched GMPSchedule) *tensor.Float {
+	cur := w.Clone()
+	for t := 0; t < sched.Steps; t++ {
+		cur = PruneMagnitude(cur, sched.SparsityAt(t))
+	}
+	return cur
+}
+
+// SparsityOf measures the fraction of exact zeros.
+func SparsityOf(w *tensor.Float) float64 {
+	if len(w.Data) == 0 {
+		return 0
+	}
+	z := 0
+	for _, v := range w.Data {
+		if v == 0 {
+			z++
+		}
+	}
+	return float64(z) / float64(len(w.Data))
+}

@@ -1,0 +1,124 @@
+package quant
+
+import (
+	"aim/internal/tensor"
+)
+
+// PTQMethod identifies a post-training-quantization algorithm family.
+// The paper integrates LHR with OmniQuant (LLMs) and BRECQ (conv nets)
+// in Table 3; both are reproduced here as calibration-based quantizers
+// with block-wise reconstruction-lite. The essential property preserved
+// is that PTQ cannot retrain weights, so LHR may only nudge each weight
+// within a ±1 code window chosen during rounding — which is why its HR
+// reduction under PTQ is smaller than under QAT.
+type PTQMethod int
+
+const (
+	// OmniQuantLite models OmniQuant-style learnable clipping: the scale
+	// is chosen by a grid search minimizing reconstruction error before
+	// rounding.
+	OmniQuantLite PTQMethod = iota
+	// BRECQLite models BRECQ-style block reconstruction: adaptive
+	// rounding (round up vs down per weight) minimizing block output
+	// error.
+	BRECQLite
+)
+
+// String names the method.
+func (m PTQMethod) String() string {
+	switch m {
+	case OmniQuantLite:
+		return "OmniQuant"
+	case BRECQLite:
+		return "BRECQ"
+	default:
+		return "PTQ?"
+	}
+}
+
+// PTQOptions configures a PTQ pass.
+type PTQOptions struct {
+	Method PTQMethod
+	Bits   int
+	// WithLHR enables the LHR-in-PTQ integration of Table 3: the
+	// rounding decision additionally weighs the Hamming cost of the two
+	// candidate codes.
+	WithLHR bool
+	// LambdaBits is the Hamming penalty (in squared-code units per bit)
+	// used when WithLHR is set. PTQ must preserve accuracy without
+	// retraining, so this is far smaller than the QAT window allows.
+	LambdaBits float64
+}
+
+// DefaultPTQOptions returns the Table 3 configuration.
+func DefaultPTQOptions(m PTQMethod, withLHR bool) PTQOptions {
+	return PTQOptions{Method: m, Bits: 8, WithLHR: withLHR, LambdaBits: 0.9}
+}
+
+// PTQQuantize quantizes a layer with the selected PTQ method.
+//
+// Both methods share the same skeleton: pick a scale (OmniQuant-style
+// clip search shrinks it slightly to cut clipping+rounding error), then
+// round each weight to floor or ceil, minimizing
+//
+//	(rounding error)² [+ λbits·Hamming(code) when WithLHR]
+//
+// which is exactly the ±1-window proximal LHR restricted to the two
+// legal PTQ rounding choices.
+func PTQQuantize(w *tensor.Float, opt PTQOptions) *Quantized {
+	s := Scale(w, opt.Bits)
+	if opt.Method == OmniQuantLite {
+		s = clipSearch(w, opt.Bits, s)
+	}
+	codes := tensor.NewInt(opt.Bits, w.Shape...)
+	for i, v := range w.Data {
+		codes.Data[i] = roundAdaptive(v/s, opt)
+	}
+	return &Quantized{Codes: codes, Scale: s}
+}
+
+// clipSearch performs the OmniQuant-style grid search over clipping
+// ratios, minimizing total squared quantization error.
+func clipSearch(w *tensor.Float, bits int, s0 float64) float64 {
+	best, bestErr := s0, quantError(w, bits, s0)
+	for ratio := 0.80; ratio < 1.0; ratio += 0.02 {
+		s := s0 * ratio
+		if e := quantError(w, bits, s); e < bestErr {
+			best, bestErr = s, e
+		}
+	}
+	return best
+}
+
+func quantError(w *tensor.Float, bits int, s float64) float64 {
+	q := QuantizeWithScale(w, bits, s)
+	e := 0.0
+	for i, v := range w.Data {
+		d := v - float64(q.Codes.Data[i])*s
+		e += d * d
+	}
+	return e
+}
+
+// roundAdaptive rounds x (in code units) to floor or ceil; with LHR the
+// Hamming cost of each candidate participates in the decision.
+func roundAdaptive(x float64, opt PTQOptions) int32 {
+	lo := int64(floor(x))
+	hi := lo + 1
+	cLo := clampCost(x, lo, opt)
+	cHi := clampCost(x, hi, opt)
+	if cLo <= cHi {
+		return clamp(lo, opt.Bits)
+	}
+	return clamp(hi, opt.Bits)
+}
+
+func clampCost(x float64, c int64, opt PTQOptions) float64 {
+	cc := clamp(c, opt.Bits)
+	d := x - float64(cc)
+	cost := d * d
+	if opt.WithLHR {
+		cost += opt.LambdaBits * float64(hamming(cc, opt.Bits))
+	}
+	return cost
+}

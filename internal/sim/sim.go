@@ -1,0 +1,226 @@
+// Package sim is the chip-level runtime simulator: it executes a
+// compiled workload on the PIM chip cycle by cycle, driving the input
+// toggle process, the Eq. 2 IR-drop model with monitor noise, the
+// IR-Booster level adjusters (Algorithm 2), the MacroSet stall/
+// recompute pipeline (Fig. 11), and the V-f/power models — and reports
+// the paper's evaluation metrics: worst/average IR-drop and mitigation,
+// per-macro power and efficiency gain, effective TOPS, failure counts
+// and delay cycles, plus the §6.6/Fig. 17 traces.
+package sim
+
+import (
+	"aim/internal/compiler"
+	"aim/internal/irdrop"
+	"aim/internal/pim"
+	"aim/internal/vf"
+	"aim/internal/xrand"
+)
+
+// Options configures a run.
+type Options struct {
+	// Beta is Algorithm 2's β (cycles); the paper's reference point is 50.
+	Beta int
+	// CyclesPerWave is how many cycles each scheduled wave is simulated
+	// for (its Rounds multiplier weights the aggregate).
+	CyclesPerWave int
+	// Mode selects sprint or low-power pair selection.
+	Mode vf.Mode
+	// UseBooster enables IR-Booster; false runs the DVFS baseline.
+	UseBooster bool
+	// Aggressive enables Algorithm 2's aggressive-level adjustment;
+	// false pins groups at their software-guided safe level.
+	Aggressive bool
+	// ToggleMean/ToggleSigma parameterize the per-cycle input flip
+	// intensity process (clipped normal).
+	ToggleMean, ToggleSigma float64
+	// Seed drives all stochastic components.
+	Seed int64
+	// TraceWave, when >= 0, records per-cycle traces for that wave.
+	TraceWave int
+}
+
+// DefaultOptions returns the reference configuration for a workload
+// class: transformer token streams toggle more than post-ReLU conv
+// feature streams, which is what makes their baseline IR-drop higher
+// (paper Fig. 3).
+func DefaultOptions(transformer bool, mode vf.Mode) Options {
+	o := Options{
+		Beta: 50, CyclesPerWave: 400, Mode: mode,
+		UseBooster: true, Aggressive: true,
+		ToggleMean: 0.54, ToggleSigma: 0.16,
+		Seed: 1, TraceWave: 0,
+	}
+	if transformer {
+		o.ToggleMean, o.ToggleSigma = 0.68, 0.17
+	}
+	return o
+}
+
+// DVFSOptions is the no-AIM hardware baseline.
+func DVFSOptions(transformer bool, mode vf.Mode) Options {
+	o := DefaultOptions(transformer, mode)
+	o.UseBooster = false
+	o.Aggressive = false
+	return o
+}
+
+// Result aggregates a run.
+type Result struct {
+	Cycles       int64
+	UsefulCycles int64
+	Failures     int
+	// AvgMacroPowerMW is the mean power of occupied macros.
+	AvgMacroPowerMW float64
+	// TOPS is the effective chip throughput.
+	TOPS float64
+	// WorstDropMV / AvgDropMV summarize the IR-drop over the run.
+	WorstDropMV, AvgDropMV float64
+	// WorstWeightOpDropMV is the worst drop among macro groups running
+	// only weight-stationary operators — the "within a macro" figure
+	// of §6.6 (attention QKT/SV operands cannot be optimized offline
+	// and are reported separately).
+	WorstWeightOpDropMV float64
+	// Mitigation is 1 − WorstDrop/SignoffWorst.
+	Mitigation float64
+	// WeightOpMitigation is 1 − WorstWeightOpDrop/SignoffWorst.
+	WeightOpMitigation float64
+	// DelayFactor is total cycles over stall-free cycles (≥ 1).
+	DelayFactor float64
+	// AvgLevelRtog is the mean in-force level (as Rtog fraction),
+	// weighted over occupied groups and cycles — the "mitigation
+	// ability" axis of Fig. 18 derives from it.
+	AvgLevelRtog float64
+	// Traces from the designated wave (nil if disabled): worst group
+	// drop (mV), total chip current (A), and bump voltage (V).
+	DropTraceMV  []float64
+	CurrentTrace []float64
+	VoltageTrace []float64
+}
+
+// guardSigma: the monitor flags IRFailure when the observed drop
+// exceeds the level's sign-off drop by this many noise sigmas.
+const guardSigma = 2.5
+
+// Run executes the compiled workload.
+func Run(c *compiler.Compiled, cfg pim.Config, opt Options) Result {
+	if opt.Beta <= 0 {
+		opt.Beta = 50
+	}
+	if opt.CyclesPerWave <= 0 {
+		opt.CyclesPerWave = 400
+	}
+	m := modelForKind(cfg.Kind)
+	table := vf.NewTable(m)
+	power := vf.DefaultPowerModel()
+	rng := xrand.NewNamed(opt.Seed, "sim/"+c.Net.Name)
+
+	var agg aggregate
+	for wi, w := range c.Waves {
+		tr := wi == opt.TraceWave
+		res := runWave(w, cfg, m, table, power, opt, rng, tr)
+		weight := float64(w.Rounds)
+		agg.add(res, weight)
+		if tr {
+			agg.dropTrace = res.dropTrace
+			agg.currentTrace = res.currentTrace
+			agg.voltageTrace = res.voltageTrace
+		}
+	}
+	return agg.result(m)
+}
+
+// waveResult carries one wave's raw accounting.
+type waveResult struct {
+	cycles, useful  int64
+	failures        int
+	powerSum        float64 // occupied-macro-mW × cycles
+	macroCycles     float64 // occupied macros × cycles
+	topsSum         float64 // per-cycle TOPS accumulation
+	worstDrop       float64
+	worstWeightDrop float64
+	dropSum         float64
+	dropCount       float64
+	levelRtogSum    float64
+	levelCount      float64
+	dropTrace       []float64
+	currentTrace    []float64
+	voltageTrace    []float64
+}
+
+type aggregate struct {
+	cycles, useful  int64
+	failures        int
+	powerSum        float64
+	macroCycles     float64
+	topsSum         float64
+	topsWeight      float64
+	worstDrop       float64
+	worstWeightDrop float64
+	dropSum         float64
+	dropCount       float64
+	levelRtogSum    float64
+	levelCount      float64
+	dropTrace       []float64
+	currentTrace    []float64
+	voltageTrace    []float64
+}
+
+func (a *aggregate) add(r waveResult, weight float64) {
+	a.cycles += int64(weight * float64(r.cycles))
+	a.useful += int64(weight * float64(r.useful))
+	a.failures += int(weight * float64(r.failures))
+	a.powerSum += weight * r.powerSum
+	a.macroCycles += weight * r.macroCycles
+	a.topsSum += weight * r.topsSum
+	a.topsWeight += weight * float64(r.cycles)
+	if r.worstDrop > a.worstDrop {
+		a.worstDrop = r.worstDrop
+	}
+	if r.worstWeightDrop > a.worstWeightDrop {
+		a.worstWeightDrop = r.worstWeightDrop
+	}
+	a.dropSum += weight * r.dropSum
+	a.dropCount += weight * r.dropCount
+	a.levelRtogSum += weight * r.levelRtogSum
+	a.levelCount += weight * r.levelCount
+}
+
+func (a *aggregate) result(m irdrop.Model) Result {
+	res := Result{
+		Cycles:              a.cycles,
+		UsefulCycles:        a.useful,
+		Failures:            a.failures,
+		WorstDropMV:         a.worstDrop,
+		WorstWeightOpDropMV: a.worstWeightDrop,
+		DropTraceMV:         a.dropTrace,
+		CurrentTrace:        a.currentTrace,
+		VoltageTrace:        a.voltageTrace,
+	}
+	if a.macroCycles > 0 {
+		res.AvgMacroPowerMW = a.powerSum / a.macroCycles
+	}
+	if a.topsWeight > 0 {
+		res.TOPS = a.topsSum / a.topsWeight
+	}
+	if a.dropCount > 0 {
+		res.AvgDropMV = a.dropSum / a.dropCount
+	}
+	if a.levelCount > 0 {
+		res.AvgLevelRtog = a.levelRtogSum / a.levelCount
+	}
+	res.Mitigation = 1 - res.WorstDropMV/m.SignoffWorstMV()
+	res.WeightOpMitigation = 1 - res.WorstWeightOpDropMV/m.SignoffWorstMV()
+	if a.useful > 0 {
+		res.DelayFactor = float64(a.cycles) / float64(a.useful)
+	} else {
+		res.DelayFactor = 1
+	}
+	return res
+}
+
+func modelForKind(k pim.MacroKind) irdrop.Model {
+	if k == pim.APIM {
+		return irdrop.APIMModel()
+	}
+	return irdrop.DPIMModel()
+}

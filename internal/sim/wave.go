@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"aim/internal/booster"
+	"aim/internal/compiler"
+	"aim/internal/irdrop"
+	"aim/internal/mapping"
+	"aim/internal/pim"
+	"aim/internal/vf"
+	"aim/internal/xrand"
+)
+
+// groupRun is the per-group runtime state of one wave.
+type groupRun struct {
+	occupied []int // macro slot → task index (occupied only)
+	hrs      []float64
+	worstHR  float64
+	// weightOnly marks groups hosting exclusively weight-stationary
+	// tasks — the macros §6.6's "IR-drop within a macro" band covers.
+	weightOnly bool
+	safe       vf.Level
+	adj        *booster.LevelAdjuster
+	level      vf.Level
+	pair       vf.Pair
+	tolerated  float64 // mV, the monitor threshold for the current level
+	monitor    *irdrop.Monitor
+}
+
+// runWave simulates one scheduled wave for opt.CyclesPerWave cycles.
+func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, power vf.PowerModel, opt Options, rng *xrand.RNG, trace bool) waveResult {
+	tasks := w.Tasks
+	numOps := len(w.Plans)
+
+	// Build group states from the wave's mapping.
+	groups := make([]*groupRun, cfg.Groups)
+	groupHRs := w.Map.GroupHRs(tasks)
+	groupsWithOp := make([][]int, numOps) // op → groups hosting it
+	for g := 0; g < cfg.Groups; g++ {
+		if len(groupHRs[g]) == 0 {
+			continue
+		}
+		gr := &groupRun{hrs: groupHRs[g]}
+		for _, hr := range gr.hrs {
+			if hr > gr.worstHR {
+				gr.worstHR = hr
+			}
+		}
+		gr.safe = booster.SafeLevelFor(gr.hrs)
+		if opt.UseBooster {
+			if opt.Aggressive {
+				gr.adj = booster.NewLevelAdjuster(gr.safe, opt.Beta)
+				gr.level = gr.adj.Level()
+			} else {
+				gr.level = gr.safe
+			}
+		} else {
+			gr.level = vf.DVFSLevel
+		}
+		if opt.UseBooster {
+			gr.pair = table.PairFor(gr.level, opt.Mode)
+		} else {
+			// Traditional DVFS holds the worst-case sign-off point.
+			gr.pair = table.DVFS()
+		}
+		gr.tolerated = m.Estimate(gr.level.Rtog()) + guardSigma*m.NoiseMV
+		gr.monitor = irdrop.NewMonitor(vf.NominalV*1000, gr.tolerated)
+		groups[g] = gr
+	}
+	for g := range groups {
+		if groups[g] != nil {
+			groups[g].weightOnly = true
+		}
+	}
+	for macro, ti := range w.Map.Assign {
+		if ti == mapping.Empty {
+			continue
+		}
+		g := macro / cfg.MacrosPerGroup
+		groups[g].occupied = append(groups[g].occupied, ti)
+		if tasks[ti].InputDetermined {
+			groups[g].weightOnly = false
+		}
+		op := tasks[ti].OpID
+		found := false
+		for _, gg := range groupsWithOp[op] {
+			if gg == g {
+				found = true
+				break
+			}
+		}
+		if !found {
+			groupsWithOp[op] = append(groupsWithOp[op], g)
+		}
+	}
+
+	var res waveResult
+	if trace {
+		res.dropTrace = make([]float64, 0, opt.CyclesPerWave)
+		res.currentTrace = make([]float64, 0, opt.CyclesPerWave)
+		res.voltageTrace = make([]float64, 0, opt.CyclesPerWave)
+	}
+	opStall := make([]int, numOps)
+	opFailedNow := make([]bool, numOps)
+	opUseful := make([]int64, numOps)
+	opFreqSum := make([]float64, numOps)
+	opTasks := make([]int, numOps)
+	for _, t := range tasks {
+		opTasks[t.OpID]++
+	}
+
+	for cyc := 0; cyc < opt.CyclesPerWave; cyc++ {
+		p := rng.Normal(opt.ToggleMean, opt.ToggleSigma)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		cycleWorstDrop := 0.0
+		cyclePower := 0.0
+		for g, gr := range groups {
+			if gr == nil {
+				continue
+			}
+			// Per-macro activity: stalled ops idle (leakage only).
+			worstRtog := 0.0
+			groupPower := 0.0
+			activeAny := false
+			for _, ti := range gr.occupied {
+				op := tasks[ti].OpID
+				if opStall[op] > 0 {
+					groupPower += power.MacroPowerMW(gr.pair, 0) // bubble: leakage only
+					continue
+				}
+				activeAny = true
+				rtog := p * tasks[ti].HR
+				if rtog > worstRtog {
+					worstRtog = rtog
+				}
+				groupPower += power.MacroPowerMW(gr.pair, rtog)
+			}
+			// The deterministic Eq. 2 drop feeds the reported metrics;
+			// the monitor additionally sees cycle noise.
+			drop := m.Estimate(worstRtog)
+			dropNoisy := m.EstimateNoisy(worstRtog, rng)
+			if drop > cycleWorstDrop {
+				cycleWorstDrop = drop
+			}
+			if gr.weightOnly && drop > res.worstWeightDrop {
+				res.worstWeightDrop = drop
+			}
+			res.dropSum += drop
+			res.dropCount++
+			res.levelRtogSum += gr.level.Rtog()
+			res.levelCount++
+			cyclePower += groupPower
+			res.powerSum += groupPower
+			res.macroCycles += float64(len(gr.occupied))
+
+			fail := false
+			if opt.UseBooster && activeAny {
+				fail = gr.monitor.Sample(dropNoisy)
+			}
+			if fail {
+				res.failures++
+				for _, ti := range gr.occupied {
+					opFailedNow[tasks[ti].OpID] = true
+				}
+			}
+			// Level adjustment (Algorithm 2); non-aggressive booster
+			// pins the safe level, DVFS pins 100%.
+			if opt.UseBooster && opt.Aggressive {
+				newLevel := gr.adj.Step(fail, false, 0)
+				if newLevel != gr.level {
+					gr.level = newLevel
+					gr.pair = table.PairFor(gr.level, opt.Mode)
+					gr.tolerated = m.Estimate(gr.level.Rtog()) + guardSigma*m.NoiseMV
+					gr.monitor.SetToleratedDrop(gr.tolerated)
+					// Frequency synchronization: peers hosting the same
+					// ops observe the change (Algorithm 2 lines 11-13).
+					for _, ti := range gr.occupied {
+						for _, og := range groupsWithOp[tasks[ti].OpID] {
+							if og != g && groups[og] != nil && groups[og].adj != nil {
+								groups[og].adj.Step(false, true, groups[og].level)
+							}
+						}
+					}
+				}
+			}
+		}
+		if drop := cycleWorstDrop; drop > res.worstDrop {
+			res.worstDrop = drop
+		}
+		// Fig. 11 recovery: an IRFailure anywhere in a MacroSet stalls
+		// the whole set for the Re + Re' waves — once per cycle, no
+		// matter how many of its groups failed simultaneously
+		// (recoveries overlap), bounded against pathological pile-up.
+		for op := 0; op < numOps; op++ {
+			if opFailedNow[op] {
+				opFailedNow[op] = false
+				if opStall[op] < 6 {
+					opStall[op] += 2
+				}
+			}
+		}
+		// Operator progress and MacroSet frequency sync: an op advances
+		// only when not stalled, at the slowest frequency among its
+		// hosting groups.
+		for op := 0; op < numOps; op++ {
+			if opTasks[op] == 0 {
+				continue
+			}
+			f := -1.0
+			for _, g := range groupsWithOp[op] {
+				if groups[g] == nil {
+					continue
+				}
+				if f < 0 || groups[g].pair.FreqGHz < f {
+					f = groups[g].pair.FreqGHz
+				}
+			}
+			if f < 0 {
+				f = vf.NominalFreqGHz
+			}
+			opFreqSum[op] += f
+			if opStall[op] > 0 {
+				opStall[op]--
+			} else {
+				opUseful[op]++
+			}
+		}
+		if trace {
+			res.dropTrace = append(res.dropTrace, cycleWorstDrop)
+			// Chip current proxy: total power over the mean rail voltage.
+			railV := vf.NominalV - cycleWorstDrop/1000
+			res.currentTrace = append(res.currentTrace, cyclePower/1000/railV)
+			res.voltageTrace = append(res.voltageTrace, railV)
+		}
+	}
+
+	res.cycles = int64(opt.CyclesPerWave)
+	// Effective throughput: task-weighted frequency × useful fraction.
+	totalTasks := 0
+	weighted := 0.0
+	var usefulMin int64 = int64(opt.CyclesPerWave)
+	for op := 0; op < numOps; op++ {
+		if opTasks[op] == 0 {
+			continue
+		}
+		avgF := opFreqSum[op] / float64(opt.CyclesPerWave)
+		usefulFrac := float64(opUseful[op]) / float64(opt.CyclesPerWave)
+		weighted += float64(opTasks[op]) * avgF * usefulFrac
+		totalTasks += opTasks[op]
+		if opUseful[op] < usefulMin {
+			usefulMin = opUseful[op]
+		}
+	}
+	if totalTasks > 0 {
+		res.topsSum = vf.ChipTOPS(weighted/float64(totalTasks), 1.0) * float64(opt.CyclesPerWave)
+	}
+	res.useful = usefulMin
+	return res
+}

@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"aim/internal/fxp"
+	"aim/internal/xrand"
+)
+
+// ActivationKind selects the synthetic activation statistics.
+type ActivationKind int
+
+const (
+	// ImageActs are post-ReLU conv features: non-negative, sparse (many
+	// exact zeros), spatially correlated across consecutive vectors.
+	ImageActs ActivationKind = iota
+	// TokenActs are transformer hidden states: signed, wider, weakly
+	// correlated between consecutive positions.
+	TokenActs
+	// UniformActs are uniformly random codes (stress pattern).
+	UniformActs
+)
+
+// ActivationConfig parameterizes the generator.
+type ActivationConfig struct {
+	Kind ActivationKind
+	// Bits is the activation quantization width.
+	Bits int
+	// Sparsity is the fraction of exact zeros (ImageActs).
+	Sparsity float64
+	// Corr in [0,1) is the AR(1) correlation between consecutive
+	// vectors; high correlation lowers bit toggles.
+	Corr float64
+}
+
+// DefaultActivations returns realistic defaults per kind.
+func DefaultActivations(kind ActivationKind) ActivationConfig {
+	switch kind {
+	case ImageActs:
+		return ActivationConfig{Kind: ImageActs, Bits: 8, Sparsity: 0.45, Corr: 0.65}
+	case TokenActs:
+		return ActivationConfig{Kind: TokenActs, Bits: 8, Sparsity: 0.05, Corr: 0.35}
+	default:
+		return ActivationConfig{Kind: UniformActs, Bits: 8}
+	}
+}
+
+// GenerateActivations produces `vectors` activation vectors over n
+// cells with the configured statistics, as quantized codes.
+func GenerateActivations(cfg ActivationConfig, n, vectors int, rng *xrand.RNG) [][]int32 {
+	if cfg.Bits == 0 {
+		cfg.Bits = 8
+	}
+	hi := float64(fxp.MaxInt(cfg.Bits))
+	out := make([][]int32, vectors)
+	state := make([]float64, n)
+	for k := range state {
+		state[k] = rng.Normal(0, 1)
+	}
+	for v := 0; v < vectors; v++ {
+		row := make([]int32, n)
+		for k := 0; k < n; k++ {
+			// AR(1) evolution keeps consecutive vectors correlated.
+			state[k] = cfg.Corr*state[k] + (1-cfg.Corr)*rng.Normal(0, 1.4)
+			x := state[k]
+			switch cfg.Kind {
+			case ImageActs:
+				if x < 0 || rng.Bernoulli(cfg.Sparsity) {
+					row[k] = 0
+					continue
+				}
+				row[k] = fxp.Clamp(int64(x*hi/3), cfg.Bits)
+			case TokenActs:
+				row[k] = fxp.Clamp(int64(x*hi/3.2), cfg.Bits)
+			default:
+				row[k] = int32(rng.Intn(int(2*hi+1))) - int32(hi)
+			}
+		}
+		out[v] = row
+	}
+	return out
+}
+
+// WorkloadToggles builds a ready-to-run ToggleSource for a workload
+// class: synthetic activations serialized bit-serially.
+func WorkloadToggles(kind ActivationKind, n, vectors int, rng *xrand.RNG) ToggleSource {
+	cfg := DefaultActivations(kind)
+	acts := GenerateActivations(cfg, n, vectors, rng)
+	return NewBitSerial(acts, cfg.Bits).ToggleStream()
+}

@@ -1,0 +1,177 @@
+// Package stream generates the bit-serial input streams that drive the
+// PIM simulator.
+//
+// In the paper's PIM dataflow (§2.1) the in-memory weights stay put
+// while input activations are loaded bit-serially on the word lines:
+// every cell k sees one input bit per cycle. The architecture-level
+// Rtog metric (Eq. 1) depends only on the cycle-to-cycle *toggles* of
+// those bit streams, so this package produces per-cell toggle sequences
+// from synthetic activation data: spatially correlated post-ReLU
+// "image" features for conv workloads, wider zero-mean token features
+// for transformer workloads, plus the sign-off worst case where every
+// bit toggles every cycle.
+package stream
+
+import (
+	"aim/internal/fxp"
+	"aim/internal/xrand"
+)
+
+// BitSerial converts a sequence of activation vectors into per-cycle
+// input bit vectors: value v of cell k occupies bits cycles LSB-first,
+// so a sequence of m vectors over n cells at width q yields m*q cycles.
+type BitSerial struct {
+	n, q   int
+	cycles int
+	// bits[t][k] is the input bit of cell k at cycle t.
+	bits [][]uint8
+}
+
+// NewBitSerial serializes the activation matrix acts[vector][cell]
+// (quantized codes at width q) into a bit-serial stream.
+func NewBitSerial(acts [][]int32, q int) *BitSerial {
+	if len(acts) == 0 {
+		panic("stream: empty activation sequence")
+	}
+	n := len(acts[0])
+	s := &BitSerial{n: n, q: q, cycles: len(acts) * q}
+	s.bits = make([][]uint8, 0, s.cycles)
+	for _, vec := range acts {
+		if len(vec) != n {
+			panic("stream: ragged activation matrix")
+		}
+		for i := 0; i < q; i++ {
+			row := make([]uint8, n)
+			for k, v := range vec {
+				row[k] = uint8(fxp.Bit(v, i, q))
+			}
+			s.bits = append(s.bits, row)
+		}
+	}
+	return s
+}
+
+// Cells returns the number of parallel input lines (cells).
+func (s *BitSerial) Cells() int { return s.n }
+
+// Cycles returns the stream length in cycles.
+func (s *BitSerial) Cycles() int { return s.cycles }
+
+// Bit returns the input bit of cell k at cycle t.
+func (s *BitSerial) Bit(t, k int) uint8 { return s.bits[t][k] }
+
+// Toggles returns, for each cycle t in [1, Cycles), the per-cell toggle
+// indicators I(k,t-1) XOR I(k,t) — the quantity Eq. 1 ANDs against the
+// stored weight bits.
+func (s *BitSerial) Toggles() [][]uint8 {
+	out := make([][]uint8, s.cycles-1)
+	for t := 1; t < s.cycles; t++ {
+		row := make([]uint8, s.n)
+		prev, cur := s.bits[t-1], s.bits[t]
+		for k := 0; k < s.n; k++ {
+			row[k] = prev[k] ^ cur[k]
+		}
+		out[t-1] = row
+	}
+	return out
+}
+
+// ToggleSource yields per-cycle toggle vectors; both serialized streams
+// and synthetic toggle processes implement it.
+type ToggleSource interface {
+	// Cells returns the number of parallel lines.
+	Cells() int
+	// NextToggles fills dst with 0/1 toggle indicators for the next
+	// cycle and reports false when the source is exhausted.
+	NextToggles(dst []uint8) bool
+}
+
+// serialToggles adapts BitSerial to ToggleSource.
+type serialToggles struct {
+	s *BitSerial
+	t int
+}
+
+// ToggleStream returns a ToggleSource over the serialized bits.
+func (s *BitSerial) ToggleStream() ToggleSource { return &serialToggles{s: s, t: 1} }
+
+func (st *serialToggles) Cells() int { return st.s.n }
+
+func (st *serialToggles) NextToggles(dst []uint8) bool {
+	if st.t >= st.s.cycles {
+		return false
+	}
+	prev, cur := st.s.bits[st.t-1], st.s.bits[st.t]
+	for k := range dst {
+		dst[k] = prev[k] ^ cur[k]
+	}
+	st.t++
+	return true
+}
+
+// WorstCase is the sign-off testbench source: every line toggles every
+// cycle, driving Rtog to its supremum HR (Eq. 4).
+type WorstCase struct {
+	N      int
+	Cycles int
+	t      int
+}
+
+// Cells implements ToggleSource.
+func (w *WorstCase) Cells() int { return w.N }
+
+// NextToggles implements ToggleSource.
+func (w *WorstCase) NextToggles(dst []uint8) bool {
+	if w.t >= w.Cycles {
+		return false
+	}
+	for k := range dst {
+		dst[k] = 1
+	}
+	w.t++
+	return true
+}
+
+// Bernoulli is a synthetic toggle process where each line toggles
+// independently with per-cycle probability drawn from a clipped normal
+// distribution — the "100-step input flip sequence sampled from a
+// normal distribution" of the paper's mapping evaluator (§5.6).
+type Bernoulli struct {
+	N      int
+	Cycles int
+	MeanP  float64
+	SigmaP float64
+	rng    *xrand.RNG
+	t      int
+}
+
+// NewBernoulli constructs the process.
+func NewBernoulli(n, cycles int, meanP, sigmaP float64, rng *xrand.RNG) *Bernoulli {
+	return &Bernoulli{N: n, Cycles: cycles, MeanP: meanP, SigmaP: sigmaP, rng: rng}
+}
+
+// Cells implements ToggleSource.
+func (b *Bernoulli) Cells() int { return b.N }
+
+// NextToggles implements ToggleSource.
+func (b *Bernoulli) NextToggles(dst []uint8) bool {
+	if b.t >= b.Cycles {
+		return false
+	}
+	p := b.rng.Normal(b.MeanP, b.SigmaP)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	for k := range dst {
+		if b.rng.Bernoulli(p) {
+			dst[k] = 1
+		} else {
+			dst[k] = 0
+		}
+	}
+	b.t++
+	return true
+}

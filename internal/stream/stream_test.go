@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aim/internal/xrand"
+)
+
+func TestBitSerialShape(t *testing.T) {
+	acts := [][]int32{{1, -1, 0}, {2, 3, -4}}
+	s := NewBitSerial(acts, 8)
+	if s.Cells() != 3 || s.Cycles() != 16 {
+		t.Fatalf("cells=%d cycles=%d, want 3, 16", s.Cells(), s.Cycles())
+	}
+}
+
+func TestBitSerialBitsLSBFirst(t *testing.T) {
+	// Value 5 = 0b101: cycle 0 bit 1, cycle 1 bit 0, cycle 2 bit 1.
+	s := NewBitSerial([][]int32{{5}}, 8)
+	want := []uint8{1, 0, 1, 0, 0, 0, 0, 0}
+	for i, w := range want {
+		if got := s.Bit(i, 0); got != w {
+			t.Errorf("bit %d = %d, want %d", i, got, w)
+		}
+	}
+	// -1 = 0xFF: all ones.
+	s = NewBitSerial([][]int32{{-1}}, 8)
+	for i := 0; i < 8; i++ {
+		if s.Bit(i, 0) != 1 {
+			t.Errorf("-1 bit %d should be 1", i)
+		}
+	}
+}
+
+func TestBitSerialPanics(t *testing.T) {
+	for _, acts := range [][][]int32{{}, {{1, 2}, {3}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", acts)
+				}
+			}()
+			NewBitSerial(acts, 8)
+		}()
+	}
+}
+
+func TestTogglesMatchBits(t *testing.T) {
+	g := xrand.New(3)
+	acts := GenerateActivations(DefaultActivations(TokenActs), 16, 4, g)
+	s := NewBitSerial(acts, 8)
+	tg := s.Toggles()
+	if len(tg) != s.Cycles()-1 {
+		t.Fatalf("toggle rows = %d, want %d", len(tg), s.Cycles()-1)
+	}
+	for t0 := 1; t0 < s.Cycles(); t0++ {
+		for k := 0; k < s.Cells(); k++ {
+			want := s.Bit(t0-1, k) ^ s.Bit(t0, k)
+			if tg[t0-1][k] != want {
+				t.Fatalf("toggle mismatch at t=%d k=%d", t0, k)
+			}
+		}
+	}
+}
+
+func TestToggleStreamMatchesToggles(t *testing.T) {
+	g := xrand.New(4)
+	acts := GenerateActivations(DefaultActivations(ImageActs), 8, 3, g)
+	s := NewBitSerial(acts, 8)
+	want := s.Toggles()
+	src := s.ToggleStream()
+	dst := make([]uint8, src.Cells())
+	for i := 0; src.NextToggles(dst); i++ {
+		for k := range dst {
+			if dst[k] != want[i][k] {
+				t.Fatalf("stream toggle mismatch at %d,%d", i, k)
+			}
+		}
+	}
+}
+
+func TestWorstCaseAllOnes(t *testing.T) {
+	w := &WorstCase{N: 5, Cycles: 3}
+	dst := make([]uint8, 5)
+	n := 0
+	for w.NextToggles(dst) {
+		n++
+		for _, v := range dst {
+			if v != 1 {
+				t.Fatal("worst case must toggle every line")
+			}
+		}
+	}
+	if n != 3 {
+		t.Fatalf("cycles = %d, want 3", n)
+	}
+}
+
+func TestBernoulliRateAndBounds(t *testing.T) {
+	g := xrand.New(5)
+	b := NewBernoulli(1000, 200, 0.3, 0.05, g)
+	dst := make([]uint8, 1000)
+	total, cycles := 0, 0
+	for b.NextToggles(dst) {
+		cycles++
+		for _, v := range dst {
+			if v > 1 {
+				t.Fatal("toggle must be 0/1")
+			}
+			total += int(v)
+		}
+	}
+	if cycles != 200 {
+		t.Fatalf("cycles = %d", cycles)
+	}
+	rate := float64(total) / float64(200*1000)
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("toggle rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestImageActsSparseAndNonNegative(t *testing.T) {
+	g := xrand.New(6)
+	acts := GenerateActivations(DefaultActivations(ImageActs), 512, 20, g)
+	zeros, total := 0, 0
+	for _, row := range acts {
+		for _, v := range row {
+			if v < 0 {
+				t.Fatal("image activations must be non-negative (post-ReLU)")
+			}
+			if v == 0 {
+				zeros++
+			}
+			total++
+		}
+	}
+	frac := float64(zeros) / float64(total)
+	if frac < 0.3 {
+		t.Errorf("zero fraction = %v, want sparse (>0.3)", frac)
+	}
+}
+
+func TestTokenActsSigned(t *testing.T) {
+	g := xrand.New(7)
+	acts := GenerateActivations(DefaultActivations(TokenActs), 512, 20, g)
+	neg := 0
+	for _, row := range acts {
+		for _, v := range row {
+			if v < 0 {
+				neg++
+			}
+		}
+	}
+	if neg == 0 {
+		t.Error("token activations should include negative values")
+	}
+}
+
+func TestCorrelationLowersToggleRate(t *testing.T) {
+	g1, g2 := xrand.New(8), xrand.New(8)
+	rate := func(corr float64, g *xrand.RNG) float64 {
+		cfg := ActivationConfig{Kind: TokenActs, Bits: 8, Corr: corr}
+		acts := GenerateActivations(cfg, 256, 30, g)
+		src := NewBitSerial(acts, 8).ToggleStream()
+		dst := make([]uint8, 256)
+		tot, n := 0, 0
+		for src.NextToggles(dst) {
+			for _, v := range dst {
+				tot += int(v)
+			}
+			n += 256
+		}
+		return float64(tot) / float64(n)
+	}
+	high := rate(0.9, g1)
+	low := rate(0.0, g2)
+	if high >= low {
+		t.Errorf("high correlation (%v) should toggle less than uncorrelated (%v)", high, low)
+	}
+}
+
+// Property: toggles are always 0/1 and worst case dominates any stream.
+func TestToggleBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := xrand.New(seed)
+		acts := GenerateActivations(DefaultActivations(UniformActs), 32, 3, g)
+		for _, row := range NewBitSerial(acts, 8).Toggles() {
+			for _, v := range row {
+				if v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

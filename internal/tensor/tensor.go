@@ -1,0 +1,213 @@
+// Package tensor provides the minimal dense tensor machinery used by the
+// quantization toolchain and the PIM simulator: float64 tensors for
+// pre-quantization weights and int32 tensors for quantized codes, with
+// just enough linear algebra (matmul, transforms) to run workloads
+// end to end.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Float is a dense row-major float64 tensor.
+type Float struct {
+	Shape []int
+	Data  []float64
+}
+
+// Int is a dense row-major int32 tensor of quantized codes with an
+// associated bit width.
+type Int struct {
+	Shape []int
+	Data  []int32
+	Bits  int
+}
+
+// NewFloat allocates a zero Float tensor with the given shape.
+func NewFloat(shape ...int) *Float {
+	return &Float{Shape: append([]int(nil), shape...), Data: make([]float64, NumElems(shape))}
+}
+
+// NewInt allocates a zero Int tensor with the given bit width and shape.
+func NewInt(bits int, shape ...int) *Int {
+	return &Int{Shape: append([]int(nil), shape...), Data: make([]int32, NumElems(shape)), Bits: bits}
+}
+
+// NumElems returns the product of dims; panics on negative dims.
+func NumElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension")
+		}
+		n *= d
+	}
+	return n
+}
+
+// Len returns the number of elements.
+func (t *Float) Len() int { return len(t.Data) }
+
+// Len returns the number of elements.
+func (t *Int) Len() int { return len(t.Data) }
+
+// Clone deep-copies the tensor.
+func (t *Float) Clone() *Float {
+	c := NewFloat(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Clone deep-copies the tensor.
+func (t *Int) Clone() *Int {
+	c := NewInt(t.Bits, t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns the element at the given multi-index.
+func (t *Float) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Float) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Float) offset(idx []int) int { return offset(t.Shape, idx) }
+
+// At returns the element at the given multi-index.
+func (t *Int) At(idx ...int) int32 { return t.Data[offset(t.Shape, idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Int) Set(v int32, idx ...int) { t.Data[offset(t.Shape, idx)] = v }
+
+func offset(shape, idx []int) int {
+	if len(idx) != len(shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != shape rank %d", len(idx), len(shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (size %d)", x, i, shape[i]))
+		}
+		off = off*shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMulFloat computes C = A x B for 2-D tensors: A is (m,k), B is (k,n).
+func MatMulFloat(a, b *Float) *Float {
+	m, k, n := check2DMul(a.Shape, b.Shape)
+	c := NewFloat(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulInt computes the exact integer product C = A x B with int64
+// accumulation; A is (m,k), B is (k,n). The result carries no bit width
+// clamping: PIM accumulators are wide.
+func MatMulInt(a, b *Int) [][]int64 {
+	m, k, n := check2DMul(a.Shape, b.Shape)
+	c := make([][]int64, m)
+	for i := 0; i < m; i++ {
+		c[i] = make([]int64, n)
+		arow := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := int64(arow[p])
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				c[i][j] += av * int64(brow[j])
+			}
+		}
+	}
+	return c
+}
+
+func check2DMul(as, bs []int) (m, k, n int) {
+	if len(as) != 2 || len(bs) != 2 {
+		panic("tensor: matmul requires rank-2 tensors")
+	}
+	if as[1] != bs[0] {
+		panic(fmt.Sprintf("tensor: inner dims mismatch %d != %d", as[1], bs[0]))
+	}
+	return as[0], as[1], bs[1]
+}
+
+// AbsMax returns the maximum absolute value in the tensor (0 for empty).
+func (t *Float) AbsMax() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 for empty).
+func (t *Float) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s / float64(len(t.Data))
+}
+
+// Apply replaces every element with f(element).
+func (t *Float) Apply(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// String renders a compact description (shape + a few leading values).
+func (t *Float) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Float%v[", t.Shape)
+	for i, v := range t.Data {
+		if i == 6 {
+			sb.WriteString("...")
+			break
+		}
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%.3g", v)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}

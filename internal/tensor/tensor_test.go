@@ -1,0 +1,157 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aim/internal/xrand"
+)
+
+func TestNewAndIndex(t *testing.T) {
+	a := NewFloat(2, 3)
+	if a.Len() != 6 {
+		t.Fatalf("len = %d, want 6", a.Len())
+	}
+	a.Set(5, 1, 2)
+	if got := a.At(1, 2); got != 5 {
+		t.Errorf("At(1,2) = %v, want 5", got)
+	}
+	if got := a.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	a := NewFloat(2, 3)
+	for _, idx := range [][]int{{2, 0}, {0, 3}, {-1, 0}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for index %v", idx)
+				}
+			}()
+			a.At(idx...)
+		}()
+	}
+}
+
+func TestNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFloat(2, -1)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewFloat(2, 2)
+	a.Set(1, 0, 0)
+	b := a.Clone()
+	b.Set(9, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Error("clone aliased parent data")
+	}
+}
+
+func TestMatMulFloatKnown(t *testing.T) {
+	a := &Float{Shape: []int{2, 3}, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Float{Shape: []int{3, 2}, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := MatMulFloat(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if math.Abs(c.Data[i]-w) > 1e-12 {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIntKnown(t *testing.T) {
+	a := &Int{Shape: []int{2, 2}, Data: []int32{1, -2, 3, 4}, Bits: 8}
+	b := &Int{Shape: []int{2, 2}, Data: []int32{5, 6, 7, -8}, Bits: 8}
+	c := MatMulInt(a, b)
+	want := [][]int64{{-9, 22}, {43, -14}}
+	for i := range want {
+		for j := range want[i] {
+			if c[i][j] != want[i][j] {
+				t.Errorf("c[%d][%d] = %d, want %d", i, j, c[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMulFloat(NewFloat(2, 3), NewFloat(2, 3))
+}
+
+func TestAbsMaxMeanApply(t *testing.T) {
+	a := &Float{Shape: []int{4}, Data: []float64{-3, 1, 2, -0.5}}
+	if got := a.AbsMax(); got != 3 {
+		t.Errorf("AbsMax = %v, want 3", got)
+	}
+	if got := a.Mean(); math.Abs(got-(-0.125)) > 1e-12 {
+		t.Errorf("Mean = %v, want -0.125", got)
+	}
+	a.Apply(func(v float64) float64 { return v * 2 })
+	if a.Data[0] != -6 {
+		t.Errorf("Apply failed: %v", a.Data)
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape([]int{2, 3}, []int{2, 3}) {
+		t.Error("expected same")
+	}
+	if SameShape([]int{2, 3}, []int{3, 2}) || SameShape([]int{2}, []int{2, 1}) {
+		t.Error("expected different")
+	}
+}
+
+// Property: float and int matmul agree on integer-valued inputs.
+func TestMatMulIntMatchesFloatProperty(t *testing.T) {
+	g := xrand.New(21)
+	f := func(seed int64) bool {
+		m, k, n := 1+g.Intn(5), 1+g.Intn(5), 1+g.Intn(5)
+		af := NewFloat(m, k)
+		ai := NewInt(8, m, k)
+		bf := NewFloat(k, n)
+		bi := NewInt(8, k, n)
+		for i := range ai.Data {
+			v := int32(g.Intn(255) - 127)
+			ai.Data[i] = v
+			af.Data[i] = float64(v)
+		}
+		for i := range bi.Data {
+			v := int32(g.Intn(255) - 127)
+			bi.Data[i] = v
+			bf.Data[i] = float64(v)
+		}
+		cf := MatMulFloat(af, bf)
+		ci := MatMulInt(ai, bi)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if int64(cf.At(i, j)) != ci[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringCompact(t *testing.T) {
+	a := NewFloat(10)
+	s := a.String()
+	if len(s) == 0 {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,54 @@
+package vf
+
+// PowerModel converts an operating point plus workload activity into
+// per-macro power, calibrated so the baseline — nominal V-f at the
+// baseline workload activity — draws the 4.2978 mW/macro the paper
+// reports for its 256-TOPS chip (§6.6, Fig. 19b).
+type PowerModel struct {
+	// LeakMW is the leakage power at nominal voltage (scales ~linearly
+	// with V in the regime of interest).
+	LeakMW float64
+	// SwitchMW is the switching power at nominal V, nominal f and the
+	// baseline activity.
+	SwitchMW float64
+	// BaselineActivity is the average Rtog of the unoptimized baseline
+	// workload the 4.2978 mW figure corresponds to.
+	BaselineActivity float64
+}
+
+// DefaultPowerModel returns the calibrated 7nm model.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{LeakMW: 0.50, SwitchMW: 3.7978, BaselineActivity: 0.27}
+}
+
+// MacroPowerMW evaluates the model: leakage scales with V, switching
+// with V²·f and linearly with activity (toggles are what burn charge,
+// which is exactly why LHR/WDS cut power as well as IR-drop).
+func (pm PowerModel) MacroPowerMW(p Pair, activity float64) float64 {
+	if activity < 0 {
+		panic("vf: negative activity")
+	}
+	vr := p.V / NominalV
+	fr := p.FreqGHz / NominalFreqGHz
+	return pm.LeakMW*vr + pm.SwitchMW*vr*vr*fr*(activity/pm.BaselineActivity)
+}
+
+// BaselinePowerMW is the reference per-macro power (nominal point,
+// baseline activity).
+func (pm PowerModel) BaselinePowerMW() float64 {
+	return pm.MacroPowerMW(Pair{V: NominalV, FreqGHz: NominalFreqGHz}, pm.BaselineActivity)
+}
+
+// EfficiencyGain returns baseline power over the power at (pair,
+// activity) — the paper's per-macro energy-efficiency improvement
+// factor.
+func (pm PowerModel) EfficiencyGain(p Pair, activity float64) float64 {
+	return pm.BaselinePowerMW() / pm.MacroPowerMW(p, activity)
+}
+
+// ChipTOPS converts a frequency ratio and a compute-utilization factor
+// (1 minus recompute/stall overhead) into chip throughput, anchored at
+// the 256-TOPS nominal design point.
+func ChipTOPS(freqGHz, utilization float64) float64 {
+	return 256 * (freqGHz / NominalFreqGHz) * utilization
+}

@@ -1,0 +1,254 @@
+// Package vf models the voltage-frequency machinery IR-Booster adjusts:
+// the discrete Rtog levels of §5.5.1 (20%–60% in 5% steps, plus the
+// 100% DVFS fallback), the per-level V-f pair subsets of Fig. 9
+// validated at IP sign-off, an alpha-power timing model deciding which
+// (V, f) grid points are safe at a given tolerated IR-drop, and the
+// per-macro power model calibrated to the paper's §6.6 numbers.
+package vf
+
+import (
+	"fmt"
+	"math"
+
+	"aim/internal/irdrop"
+)
+
+// Electrical constants of the 7nm design.
+const (
+	// NominalV is the nominal supply voltage (volts).
+	NominalV = 0.75
+	// NominalFreqGHz is the sign-off clock at the worst-case corner.
+	NominalFreqGHz = 1.0
+	// VthV is the effective threshold voltage of the alpha-power delay
+	// model.
+	VthV = 0.30
+	// AlphaPower is the alpha-power-law exponent.
+	AlphaPower = 1.3
+	// timingK is the alpha-power scale factor, calibrated so the DVFS
+	// sign-off point (0.75 V, 1.0 GHz) is exactly feasible under the
+	// worst-case 140 mV drop.
+	timingK = 3.45
+)
+
+// Level is an Rtog level in percent: the IR-drop intensity a V-f pair
+// subset is validated for. Valid values are 20..60 in steps of 5,
+// and 100 (the DVFS worst-case fallback).
+type Level int
+
+// DVFSLevel is the worst-case sign-off level traditional DVFS uses.
+const DVFSLevel Level = 100
+
+// Levels returns all levels in ascending order, ending with DVFSLevel.
+func Levels() []Level {
+	out := []Level{}
+	for l := 20; l <= 60; l += 5 {
+		out = append(out, Level(l))
+	}
+	return append(out, DVFSLevel)
+}
+
+// Valid reports whether l is a defined level.
+func (l Level) Valid() bool {
+	if l == DVFSLevel {
+		return true
+	}
+	return l >= 20 && l <= 60 && l%5 == 0
+}
+
+// Rtog returns the level as a fraction in (0,1].
+func (l Level) Rtog() float64 { return float64(l) / 100 }
+
+// String renders "45%" style labels.
+func (l Level) String() string { return fmt.Sprintf("%d%%", int(l)) }
+
+// LevelForHR selects the nearest level at or above the given HR
+// (§5.5.1: "the nearest higher Rtog level, rounded to the nearest
+// 5%"); groups with HR above 60% revert to DVFS.
+func LevelForHR(hr float64) Level {
+	if hr < 0 {
+		panic("vf: negative HR")
+	}
+	pct := int(math.Ceil(hr*100/5) * 5)
+	if pct < 20 {
+		pct = 20
+	}
+	if pct > 60 {
+		return DVFSLevel
+	}
+	return Level(pct)
+}
+
+// Up moves one 5% step toward less pessimism (lower percentage); it
+// saturates at 20%. Per Fig. 9, "level up" unlocks lower voltage or
+// higher frequency.
+func (l Level) Up() Level {
+	if l == DVFSLevel {
+		return 60
+	}
+	if l <= 20 {
+		return 20
+	}
+	return l - 5
+}
+
+// Down moves one 5% step toward more pessimism; above 60% it saturates
+// at the DVFS level.
+func (l Level) Down() Level {
+	if l >= 60 {
+		return DVFSLevel
+	}
+	return l + 5
+}
+
+// InitialALevel is the paper's Table 1: the aggressive level IR-Booster
+// starts from for each safe level, derived from profiling.
+func InitialALevel(safe Level) Level {
+	switch safe {
+	case DVFSLevel:
+		return 60
+	case 60:
+		return 40
+	case 55:
+		return 35
+	case 50:
+		return 35
+	case 45:
+		return 35
+	case 40:
+		return 30
+	case 35:
+		return 30
+	case 30:
+		return 25
+	case 25:
+		return 20
+	case 20:
+		return 20
+	default:
+		panic(fmt.Sprintf("vf: invalid safe level %d", int(safe)))
+	}
+}
+
+// Pair is one validated operating point.
+type Pair struct {
+	V       float64 // supply voltage, volts
+	FreqGHz float64 // clock frequency, GHz
+}
+
+// String renders "0.70V@1.20GHz".
+func (p Pair) String() string { return fmt.Sprintf("%.2fV@%.2fGHz", p.V, p.FreqGHz) }
+
+// Table holds the V-f grid of Fig. 9 and answers feasibility queries
+// against an IR-drop model.
+type Table struct {
+	Voltages []float64
+	Freqs    []float64
+	Model    irdrop.Model
+}
+
+// NewTable builds the default 5×5 grid used by the 7nm chip: the
+// paper's sensitivity analysis (§5.5.1) found 4×4 grids lose >8%
+// mitigation capability while >5×5 raises hardware cost unacceptably.
+func NewTable(m irdrop.Model) *Table {
+	return &Table{
+		Voltages: []float64{0.60, 0.65, 0.70, 0.75, 0.80},
+		Freqs:    []float64{0.8, 0.9, 1.0, 1.1, 1.2},
+		Model:    m,
+	}
+}
+
+// FMaxGHz returns the maximum safe clock at supply v under the
+// tolerated drop of level l, per the alpha-power law
+//
+//	fmax = k·(Veff − Vth)^α / v,  Veff = v − IRdrop(l).
+func (t *Table) FMaxGHz(v float64, l Level) float64 {
+	veff := v - t.Model.Estimate(l.Rtog())/1000
+	head := veff - VthV
+	if head <= 0 {
+		return 0
+	}
+	return timingK * math.Pow(head, AlphaPower) / v
+}
+
+// PairsFor enumerates the grid points that are safe at level l — the
+// level's validated V-f pair subset.
+func (t *Table) PairsFor(l Level) []Pair {
+	if !l.Valid() {
+		panic(fmt.Sprintf("vf: invalid level %d", int(l)))
+	}
+	var out []Pair
+	for _, v := range t.Voltages {
+		fmax := t.FMaxGHz(v, l)
+		for _, f := range t.Freqs {
+			if f <= fmax {
+				out = append(out, Pair{V: v, FreqGHz: f})
+			}
+		}
+	}
+	return out
+}
+
+// Sprint picks the level's throughput-first pair: highest frequency,
+// then lowest voltage among ties (§5.5.1 sprint mode).
+func (t *Table) Sprint(l Level) Pair {
+	pairs := t.PairsFor(l)
+	if len(pairs) == 0 {
+		return t.DVFS()
+	}
+	best := pairs[0]
+	for _, p := range pairs[1:] {
+		if p.FreqGHz > best.FreqGHz || (p.FreqGHz == best.FreqGHz && p.V < best.V) {
+			best = p
+		}
+	}
+	return best
+}
+
+// LowPower picks the level's efficiency-first pair: the lowest voltage
+// in the level's validated subset and, at that voltage, the highest
+// frequency it sustains. Dropping voltage cuts both switching (V²) and
+// leakage power; holding frequency as high as the low rail allows then
+// maximizes energy efficiency (TOPS/W), which is what the paper's
+// low-power mode optimizes.
+func (t *Table) LowPower(l Level) Pair {
+	pairs := t.PairsFor(l)
+	if len(pairs) == 0 {
+		return t.DVFS()
+	}
+	best := pairs[0]
+	for _, p := range pairs[1:] {
+		if p.V < best.V || (p.V == best.V && p.FreqGHz > best.FreqGHz) {
+			best = p
+		}
+	}
+	return best
+}
+
+// DVFS returns the traditional worst-case sign-off operating point.
+func (t *Table) DVFS() Pair { return Pair{V: NominalV, FreqGHz: NominalFreqGHz} }
+
+// Mode selects between the two user-facing operating policies.
+type Mode int
+
+const (
+	// Sprint prioritizes throughput (§5.5.1).
+	Sprint Mode = iota
+	// LowPower prioritizes energy efficiency.
+	LowPower
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == LowPower {
+		return "low-power"
+	}
+	return "sprint"
+}
+
+// PairFor dispatches on mode.
+func (t *Table) PairFor(l Level, m Mode) Pair {
+	if m == LowPower {
+		return t.LowPower(l)
+	}
+	return t.Sprint(l)
+}

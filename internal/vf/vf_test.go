@@ -1,0 +1,250 @@
+package vf
+
+import (
+	"math"
+	"testing"
+
+	"aim/internal/irdrop"
+)
+
+func table() *Table { return NewTable(irdrop.DPIMModel()) }
+
+func TestLevels(t *testing.T) {
+	ls := Levels()
+	if len(ls) != 10 {
+		t.Fatalf("level count = %d, want 10 (20..60 step 5 + 100)", len(ls))
+	}
+	if ls[0] != 20 || ls[8] != 60 || ls[9] != DVFSLevel {
+		t.Errorf("levels wrong: %v", ls)
+	}
+	for _, l := range ls {
+		if !l.Valid() {
+			t.Errorf("level %v invalid", l)
+		}
+	}
+	if Level(23).Valid() || Level(65).Valid() {
+		t.Error("invalid levels accepted")
+	}
+}
+
+func TestLevelForHR(t *testing.T) {
+	cases := []struct {
+		hr   float64
+		want Level
+	}{
+		{0.475, 50}, // paper's example: HRG 47.5% → safe level 50%
+		{0.50, 50},
+		{0.501, 55},
+		{0.10, 20}, // floor of the validated range
+		{0.61, DVFSLevel},
+		{0.99, DVFSLevel},
+	}
+	for _, c := range cases {
+		if got := LevelForHR(c.hr); got != c.want {
+			t.Errorf("LevelForHR(%v) = %v, want %v", c.hr, got, c.want)
+		}
+	}
+}
+
+func TestLevelUpDown(t *testing.T) {
+	if Level(40).Up() != 35 || Level(40).Down() != 45 {
+		t.Error("up/down wrong")
+	}
+	if Level(20).Up() != 20 {
+		t.Error("up must saturate at 20")
+	}
+	if Level(60).Down() != DVFSLevel || DVFSLevel.Down() != DVFSLevel {
+		t.Error("down must saturate at DVFS")
+	}
+	if DVFSLevel.Up() != 60 {
+		t.Error("DVFS up should re-enter the level range")
+	}
+}
+
+func TestInitialALevelTable1(t *testing.T) {
+	// Paper Table 1 verbatim.
+	want := map[Level]Level{
+		DVFSLevel: 60, 60: 40, 55: 35, 50: 35, 45: 35,
+		40: 30, 35: 30, 30: 25, 25: 20, 20: 20,
+	}
+	for safe, a0 := range want {
+		if got := InitialALevel(safe); got != a0 {
+			t.Errorf("InitialALevel(%v) = %v, want %v", safe, got, a0)
+		}
+	}
+}
+
+func TestInitialALevelNeverAboveSafe(t *testing.T) {
+	// The aggressive level always targets at most the safe level's
+	// pessimism (a-level percentage <= safe level percentage).
+	for _, safe := range Levels() {
+		if a := InitialALevel(safe); a > safe {
+			t.Errorf("a-level %v above safe %v", a, safe)
+		}
+	}
+}
+
+func TestDVFSPointFeasible(t *testing.T) {
+	tb := table()
+	fmax := tb.FMaxGHz(NominalV, DVFSLevel)
+	if fmax < NominalFreqGHz {
+		t.Errorf("sign-off point infeasible: fmax(0.75V, 100%%) = %v", fmax)
+	}
+	if fmax > NominalFreqGHz*1.15 {
+		t.Errorf("sign-off point too slack: fmax = %v (calibration drifted)", fmax)
+	}
+}
+
+func TestFMaxMonotone(t *testing.T) {
+	tb := table()
+	// Higher voltage → faster; lower level (less drop) → faster.
+	if tb.FMaxGHz(0.70, 40) <= tb.FMaxGHz(0.65, 40) {
+		t.Error("fmax not monotone in V")
+	}
+	if tb.FMaxGHz(0.70, 20) <= tb.FMaxGHz(0.70, 60) {
+		t.Error("fmax not monotone in level")
+	}
+	if tb.FMaxGHz(0.31, 20) != 0 {
+		t.Error("fmax below headroom should be 0")
+	}
+}
+
+func TestPairSubsetsGrowAsLevelDrops(t *testing.T) {
+	tb := table()
+	prev := -1
+	for _, l := range []Level{DVFSLevel, 60, 45, 30, 20} {
+		n := len(tb.PairsFor(l))
+		if prev >= 0 && n < prev {
+			t.Errorf("pair subset shrank at level %v: %d < %d", l, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestSprintBeatsDVFS(t *testing.T) {
+	tb := table()
+	dvfs := tb.DVFS()
+	sprint := tb.Sprint(20)
+	if sprint.FreqGHz <= dvfs.FreqGHz {
+		t.Errorf("sprint at level 20 (%v) should out-clock DVFS (%v)", sprint, dvfs)
+	}
+	// Paper §6.6: sprint reaches ~1.15x; grid caps at 1.2 GHz.
+	if sprint.FreqGHz > 1.2 {
+		t.Errorf("sprint frequency %v beyond validated grid", sprint.FreqGHz)
+	}
+}
+
+func TestLowPowerMinVoltageMaxFreq(t *testing.T) {
+	tb := table()
+	for _, l := range []Level{20, 25, 30, 45} {
+		p := tb.LowPower(l)
+		if p.V >= NominalV {
+			t.Errorf("level %v low-power pair %v should undervolt", l, p)
+		}
+		// Contract: no validated pair has lower voltage, and none at
+		// this voltage is faster.
+		for _, q := range tb.PairsFor(l) {
+			if q.V < p.V {
+				t.Errorf("level %v: pair %v has lower voltage than chosen %v", l, q, p)
+			}
+			if q.V == p.V && q.FreqGHz > p.FreqGHz {
+				t.Errorf("level %v: pair %v is faster at same voltage than %v", l, q, p)
+			}
+		}
+		// The clock never falls off a cliff: the grid floor keeps
+		// low-power pace within 20%% of nominal.
+		if p.FreqGHz < 0.8 {
+			t.Errorf("level %v low-power frequency %v too low", l, p.FreqGHz)
+		}
+	}
+}
+
+func TestIRBoosterFlexibilityVsDVFS(t *testing.T) {
+	// The paper's key contrast (Fig. 9): DVFS moves V and f together;
+	// IR-Booster can cut voltage at near-constant frequency or raise
+	// frequency at constant voltage, using the Rtog margin.
+	tb := table()
+	dvfs := tb.DVFS()
+	lp := tb.LowPower(20)
+	if !(lp.V < dvfs.V && lp.FreqGHz >= dvfs.FreqGHz) {
+		t.Errorf("low-power pair %v does not undervolt at held frequency vs %v", lp, dvfs)
+	}
+	sp := tb.Sprint(25)
+	if !(sp.FreqGHz > dvfs.FreqGHz && sp.V <= dvfs.V) {
+		t.Errorf("sprint pair %v does not overclock within voltage budget vs %v", sp, dvfs)
+	}
+}
+
+func TestPairForDispatch(t *testing.T) {
+	tb := table()
+	if tb.PairFor(20, Sprint) != tb.Sprint(20) || tb.PairFor(20, LowPower) != tb.LowPower(20) {
+		t.Error("PairFor dispatch wrong")
+	}
+	if Sprint.String() != "sprint" || LowPower.String() != "low-power" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestPowerModelCalibration(t *testing.T) {
+	pm := DefaultPowerModel()
+	if got := pm.BaselinePowerMW(); math.Abs(got-4.2978) > 1e-9 {
+		t.Errorf("baseline macro power = %v mW, want 4.2978 (paper §6.6)", got)
+	}
+}
+
+func TestPowerFallsWithVoltageAndActivity(t *testing.T) {
+	pm := DefaultPowerModel()
+	base := pm.BaselinePowerMW()
+	lowV := pm.MacroPowerMW(Pair{V: 0.60, FreqGHz: 1.0}, pm.BaselineActivity)
+	if lowV >= base {
+		t.Error("undervolting must cut power")
+	}
+	lowAct := pm.MacroPowerMW(Pair{V: NominalV, FreqGHz: 1.0}, pm.BaselineActivity*0.5)
+	if lowAct >= base {
+		t.Error("activity reduction must cut power")
+	}
+}
+
+func TestPaperEfficiencyBandReachable(t *testing.T) {
+	// §6.6: AIM reaches 1.91–2.29× energy efficiency. With the
+	// optimized activity (~55% of baseline toggles after LHR+WDS) and
+	// the level-20/25 low-power pairs, throughput-per-watt must land in
+	// that neighbourhood versus the DVFS point at baseline activity.
+	tb := table()
+	pm := DefaultPowerModel()
+	effOf := func(p Pair, act float64) float64 {
+		return p.FreqGHz / pm.MacroPowerMW(p, act)
+	}
+	base := effOf(tb.DVFS(), pm.BaselineActivity)
+	gain20 := effOf(tb.LowPower(20), pm.BaselineActivity*0.55) / base
+	gain25 := effOf(tb.LowPower(25), pm.BaselineActivity*0.55) / base
+	if gain20 < 1.9 || gain20 > 2.8 {
+		t.Errorf("level-20 efficiency gain = %.2f, want ~2.3", gain20)
+	}
+	if gain25 < 1.7 || gain25 > 2.6 {
+		t.Errorf("level-25 efficiency gain = %.2f, want ~2.0", gain25)
+	}
+	if gain25 > gain20 {
+		t.Error("lower level must be at least as efficient")
+	}
+}
+
+func TestChipTOPS(t *testing.T) {
+	if got := ChipTOPS(1.0, 1.0); got != 256 {
+		t.Errorf("nominal TOPS = %v", got)
+	}
+	// Sprint band: ~1.15x with small recompute overhead (§6.6).
+	got := ChipTOPS(1.2, 0.96)
+	if got < 289 || got > 300 {
+		t.Errorf("sprint TOPS = %v, want 289-300", got)
+	}
+}
+
+func TestPowerPanicsOnNegativeActivity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultPowerModel().MacroPowerMW(Pair{V: 0.7, FreqGHz: 1}, -0.1)
+}

@@ -1,0 +1,126 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+}
+
+func TestNamedStreamsIndependent(t *testing.T) {
+	a := NewNamed(1, "weights")
+	b := NewNamed(1, "inputs")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Errorf("named streams look correlated: %d/64 equal draws", same)
+	}
+}
+
+func TestNamedStreamReproducible(t *testing.T) {
+	a := NewNamed(7, "x")
+	b := NewNamed(7, "x")
+	if a.Int63() != b.Int63() {
+		t.Fatal("named stream must be reproducible")
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := New(3).Split("child")
+	b := New(3).Split("child")
+	if a.Int63() != b.Int63() {
+		t.Fatal("split stream must be reproducible")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := New(11)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := g.Normal(2, 3)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Errorf("normal variance = %v, want ~9", variance)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	g := New(13)
+	n := 200000
+	sum, sumAbs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := g.Laplace(0, 2)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	mean := sum / float64(n)
+	meanAbs := sumAbs / float64(n)
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("laplace mean = %v, want ~0", mean)
+	}
+	// E|X| = b for Laplace(0, b).
+	if math.Abs(meanAbs-2) > 0.05 {
+		t.Errorf("laplace E|X| = %v, want ~2", meanAbs)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	g := New(17)
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("bernoulli rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestNormalSliceLen(t *testing.T) {
+	s := New(5).NormalSlice(17, 0, 1)
+	if len(s) != 17 {
+		t.Fatalf("len = %d, want 17", len(s))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(9).Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
