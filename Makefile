@@ -1,0 +1,35 @@
+# Local targets mirror .github/workflows/ci.yml step for step so a
+# green `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench lint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: one iteration of the Fig. 3 regeneration proves the
+# benchmark harness wires up without paying full benchmark time.
+bench:
+	$(GO) test -bench=Fig3 -benchtime=1x -run '^$$' .
+
+lint: vet fmt-check
+
+ci: build lint race bench

@@ -1,7 +1,9 @@
 package aim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"aim/internal/core"
 	"aim/internal/experiments"
@@ -48,6 +50,11 @@ type Config struct {
 	WDSDelta int
 	// Seed drives every stochastic component (default 1).
 	Seed int64
+	// Parallel bounds the simulator's wave-sharding worker pool:
+	// 0 uses one worker per CPU, 1 forces the serial reference path,
+	// N > 1 uses N workers. Results are bit-identical for any value —
+	// the knob only trades wall-clock time for cores.
+	Parallel int
 }
 
 // Result summarizes a full AIM run against the DVFS baseline.
@@ -98,6 +105,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	p := core.NewPipeline(mode)
 	p.Seed = seed
+	p.Parallel = cfg.Parallel
 	if cfg.Beta > 0 {
 		p.Beta = cfg.Beta
 	}
@@ -142,4 +150,70 @@ func Experiment(id string, seed int64) (string, error) {
 		seed = 2025
 	}
 	return run(seed).Render(), nil
+}
+
+// ExperimentSet selects a batch of experiments for RunExperiments.
+type ExperimentSet struct {
+	// Pattern is an unanchored regular expression over experiment ids
+	// (the semantics of go test -run); empty selects every experiment.
+	Pattern string
+	// IDs, when non-empty, overrides Pattern with an explicit id list
+	// run in the given order.
+	IDs []string
+	// Seed drives every stochastic component (default 2025, the
+	// registry's reference seed).
+	Seed int64
+	// Parallel bounds the worker pool fanning out over experiments:
+	// 0 means one worker per CPU, 1 dispatches experiments one at a
+	// time. Inner shards (networks, β points, simulation waves) use
+	// their own GOMAXPROCS-bounded pools regardless — set GOMAXPROCS=1
+	// for a fully serial run. The rendered tables are byte-identical
+	// for any setting.
+	Parallel int
+	// Progress, when non-nil, is called as each experiment finishes
+	// (completion order, not registry order) with its wall-clock time.
+	// Calls are serialized.
+	Progress func(id string, elapsed time.Duration)
+}
+
+// ExperimentResult is one regenerated table or figure.
+type ExperimentResult struct {
+	// ID is the experiment identifier ("fig3", "table2", ...).
+	ID string
+	// Text is the rendered table.
+	Text string
+}
+
+// RunExperiments regenerates a set of the paper's tables and figures
+// concurrently over a bounded worker pool and returns them in
+// registry order (or the order of set.IDs). Every stochastic stream is
+// derived from (seed, shard name), so for a fixed seed the output is
+// byte-identical no matter how many workers run — parallelism only
+// changes wall-clock time. Cancelling ctx stops experiments that have
+// not started and returns ctx.Err().
+func RunExperiments(ctx context.Context, set ExperimentSet) ([]ExperimentResult, error) {
+	ids := set.IDs
+	if len(ids) == 0 {
+		var err error
+		ids, err = experiments.MatchIDs(set.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("aim: %w", err)
+		}
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("aim: no experiments match %q (want a pattern over %v)", set.Pattern, experiments.IDs())
+		}
+	}
+	seed := set.Seed
+	if seed == 0 {
+		seed = 2025
+	}
+	tables, err := experiments.RunSet(ctx, ids, seed, set.Parallel, set.Progress)
+	if err != nil {
+		return nil, fmt.Errorf("aim: %w", err)
+	}
+	out := make([]ExperimentResult, len(tables))
+	for i, tbl := range tables {
+		out[i] = ExperimentResult{ID: tbl.ID, Text: tbl.Render()}
+	}
+	return out, nil
 }

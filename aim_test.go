@@ -1,6 +1,7 @@
 package aim
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -71,6 +72,61 @@ func TestExperimentLookup(t *testing.T) {
 	}
 	if _, err := Experiment("fig99", 2025); err == nil {
 		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunExperimentsSet(t *testing.T) {
+	got, err := RunExperiments(context.Background(), ExperimentSet{Pattern: "^(vfsens|overhead)$", Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "vfsens" || got[1].ID != "overhead" {
+		t.Fatalf("got %d results, want vfsens+overhead in registry order: %+v", len(got), got)
+	}
+	if !strings.Contains(got[1].Text, "shift compensator") {
+		t.Errorf("overhead table wrong: %q", got[1].Text)
+	}
+	// Explicit id list preserves the caller's order and must render the
+	// same bytes as the single-experiment path.
+	byIDs, err := RunExperiments(context.Background(), ExperimentSet{IDs: []string{"overhead", "vfsens"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byIDs[0].ID != "overhead" || byIDs[1].ID != "vfsens" {
+		t.Fatalf("explicit id order not preserved: %+v", byIDs)
+	}
+	single, err := Experiment("overhead", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byIDs[0].Text != single {
+		t.Error("RunExperiments and Experiment render different bytes for the same seed")
+	}
+}
+
+func TestRunExperimentsErrors(t *testing.T) {
+	if _, err := RunExperiments(context.Background(), ExperimentSet{Pattern: "nosuch"}); err == nil {
+		t.Error("no-match pattern must error")
+	}
+	if _, err := RunExperiments(context.Background(), ExperimentSet{Pattern: "(bad"}); err == nil {
+		t.Error("bad pattern must error")
+	}
+	if _, err := RunExperiments(context.Background(), ExperimentSet{IDs: []string{"fig99"}}); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	serial, err := Run(Config{Network: "resnet18", Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(Config{Network: "resnet18", Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != par {
+		t.Errorf("Run with Parallel=4 diverges from serial:\n  par=%+v\n  ser=%+v", par, serial)
 	}
 }
 

@@ -9,6 +9,8 @@ package aim
 // cmd/aimbench prints the same tables with the paper's rows/series.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"aim/internal/experiments"
@@ -99,6 +101,43 @@ func BenchmarkVfSensitivity(b *testing.B) { benchExperiment(b, "vfsens") }
 
 // BenchmarkOverhead regenerates the §6.10 area/power overhead table.
 func BenchmarkOverhead(b *testing.B) { benchExperiment(b, "overhead") }
+
+// experimentSuite is the sim-heavy cross-section the engine benchmarks
+// regenerate: these five dominate the registry's wall-clock time and
+// exercise every sharding axis (experiments, networks, betas, waves).
+var experimentSuite = []string{"fig3", "sec66", "fig18", "fig19", "fig20"}
+
+func benchExperimentSuite(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.RunSet(context.Background(), experimentSuite, 2025, workers, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != len(experimentSuite) {
+			b.Fatalf("got %d tables, want %d", len(tables), len(experimentSuite))
+		}
+	}
+}
+
+// BenchmarkExperimentsSerial is the serial reference harness: it pins
+// GOMAXPROCS to 1 so the engine, the experiments' inner loops, and the
+// simulator's wave shards all collapse to a single worker — the
+// pre-parallel behavior. Compare against BenchmarkExperimentsParallel
+// to quantify the engine's speedup; the rendered tables are
+// byte-identical between the two.
+func BenchmarkExperimentsSerial(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	benchExperimentSuite(b, 1)
+}
+
+// BenchmarkExperimentsParallel fans the same suite out over one worker
+// per CPU at every level (experiments, inner loops, waves). On a
+// ≥ 4-core machine this runs ≥ 2× faster than the serial harness.
+func BenchmarkExperimentsParallel(b *testing.B) {
+	benchExperimentSuite(b, 0)
+}
 
 // BenchmarkOptimize measures the library-level LHR+WDS optimization
 // path on a 64k-weight tensor (an ablation-style microbenchmark of the

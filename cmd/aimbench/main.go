@@ -1,51 +1,89 @@
 // Command aimbench regenerates the paper's evaluation tables and
 // figures. With no arguments it runs every experiment in paper order;
-// -exp selects a comma-separated subset.
+// -exp selects a comma-separated subset, -run selects by regular
+// expression (go test -run semantics). Experiments fan out over a
+// bounded worker pool (-parallel); for a fixed -seed the output bytes
+// are identical for any worker count.
+//
+// Tables print to stdout in selection order once the set finishes
+// (the bytes are deterministic); per-experiment completion notices
+// stream to stderr as they happen.
 //
 // Usage:
 //
-//	aimbench [-exp fig3,table2,...] [-seed N] [-list]
+//	aimbench [-exp fig3,table2,...] [-run regex] [-seed N] [-parallel N] [-list]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
-	"aim/internal/experiments"
+	"aim"
 )
 
 func main() {
-	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
-	seed := flag.Int64("seed", 2025, "random seed for all stochastic components")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes the
+// selected experiments, writes tables to stdout and diagnostics to
+// stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aimbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "comma-separated experiment ids (default: all)")
+	pattern := fs.String("run", "", "regular expression selecting experiment ids (go test -run semantics)")
+	seed := fs.Int64("seed", 2025, "random seed for all stochastic components")
+	parallel := fs.Int("parallel", 0, "experiment fan-out: 0 = one worker per CPU, 1 = one experiment at a time (inner shards always use GOMAXPROCS; output is identical either way)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+		for _, id := range aim.ExperimentIDs() {
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
+	}
+	if *exp != "" && *pattern != "" {
+		fmt.Fprintln(stderr, "aimbench: -exp and -run are mutually exclusive")
+		return 2
 	}
 
-	ids := experiments.IDs()
+	// Tables buffer until the whole set finishes so stdout bytes stay
+	// deterministic; per-experiment completion goes to stderr as it
+	// happens, so long runs show progress.
+	set := aim.ExperimentSet{
+		Pattern: *pattern, Seed: *seed, Parallel: *parallel,
+		Progress: func(id string, elapsed time.Duration) {
+			fmt.Fprintf(stderr, "[%s completed in %v]\n", id, elapsed.Round(time.Millisecond))
+		},
+	}
 	if *exp != "" {
-		ids = strings.Split(*exp, ",")
-	}
-	exitCode := 0
-	for _, id := range ids {
-		run, ok := experiments.ByID(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "aimbench: unknown experiment %q (use -list)\n", id)
-			exitCode = 1
-			continue
+		for _, id := range strings.Split(*exp, ",") {
+			set.IDs = append(set.IDs, strings.TrimSpace(id))
 		}
-		start := time.Now()
-		tbl := run(*seed)
-		fmt.Println(tbl.Render())
-		fmt.Printf("[%s completed in %v]\n\n", tbl.ID, time.Since(start).Round(time.Millisecond))
 	}
-	os.Exit(exitCode)
+	start := time.Now()
+	results, err := aim.RunExperiments(context.Background(), set)
+	if err != nil {
+		fmt.Fprintf(stderr, "aimbench: %v\n", err)
+		return 1
+	}
+	for _, r := range results {
+		fmt.Fprintln(stdout, r.Text)
+	}
+	// Timing is diagnostics: stderr, so stdout stays byte-deterministic.
+	fmt.Fprintf(stderr, "[%d experiments completed in %v]\n", len(results), time.Since(start).Round(time.Millisecond))
+	return 0
 }

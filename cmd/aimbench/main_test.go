@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"aim"
+)
+
+// runCapture invokes the CLI entry point and returns exit code and the
+// two output streams.
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Fields(out)
+	if len(lines) != len(aim.ExperimentIDs()) {
+		t.Fatalf("listed %d ids, want %d", len(lines), len(aim.ExperimentIDs()))
+	}
+	for i, id := range aim.ExperimentIDs() {
+		if lines[i] != id {
+			t.Errorf("line %d = %q, want %q", i, lines[i], id)
+		}
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"exp and run together", []string{"-exp", "fig3", "-run", "fig"}},
+	}
+	for _, c := range cases {
+		if code, _, stderr := runCapture(t, c.args...); code != 2 || stderr == "" {
+			t.Errorf("%s: exit = %d, stderr = %q, want exit 2 with diagnostics", c.name, code, stderr)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCapture(t, "-exp", "fig99")
+	if code != 1 || !strings.Contains(stderr, "fig99") {
+		t.Errorf("exit = %d, stderr = %q, want failure naming fig99", code, stderr)
+	}
+}
+
+func TestNoRegexMatch(t *testing.T) {
+	code, _, stderr := runCapture(t, "-run", "nosuchexperiment")
+	if code != 1 || !strings.Contains(stderr, "no experiments match") {
+		t.Errorf("exit = %d, stderr = %q, want no-match failure", code, stderr)
+	}
+}
+
+func TestExpSubsetRenders(t *testing.T) {
+	code, out, stderr := runCapture(t, "-exp", "overhead, vfsens")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	// Per-experiment completion notices stream to stderr, keeping
+	// stdout's table bytes deterministic.
+	for _, id := range []string{"overhead", "vfsens"} {
+		if !strings.Contains(stderr, "["+id+" completed in ") {
+			t.Errorf("stderr missing completion notice for %s: %q", id, stderr)
+		}
+	}
+	// Caller order is preserved and both tables render.
+	oi := strings.Index(out, "== overhead:")
+	vi := strings.Index(out, "== vfsens:")
+	if oi < 0 || vi < 0 || oi > vi {
+		t.Errorf("tables missing or misordered:\n%s", out)
+	}
+	if !strings.Contains(stderr, "2 experiments completed") {
+		t.Errorf("summary line missing from stderr:\n%s", stderr)
+	}
+	if strings.Contains(out, "completed in") {
+		t.Errorf("timing diagnostics leaked onto stdout:\n%s", out)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCapture(t, "-h")
+	if code != 0 {
+		t.Errorf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "Usage of aimbench") {
+		t.Errorf("usage missing: %q", stderr)
+	}
+}
+
+func TestRunRegexMatchesSerialAndParallel(t *testing.T) {
+	// The -parallel knob must not change a single stdout byte (the
+	// engine's determinism guarantee); all timing diagnostics live on
+	// stderr.
+	code, serial, stderr := runCapture(t, "-run", "^(vfsens|overhead)$", "-parallel", "1")
+	if code != 0 {
+		t.Fatalf("serial exit = %d, stderr = %q", code, stderr)
+	}
+	code, par, stderr := runCapture(t, "-run", "^(vfsens|overhead)$", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("parallel exit = %d, stderr = %q", code, stderr)
+	}
+	if serial != par {
+		t.Errorf("-parallel changed the stdout bytes:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+}

@@ -4,25 +4,41 @@
 //
 // Usage:
 //
-//	aimc -net resnet18 [-mode sprint|low-power] [-beta 50] [-delta 16] [-seed N]
+//	aimc -net resnet18 [-mode sprint|low-power] [-beta 50] [-delta 16] [-seed N] [-parallel N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strings"
 
 	"aim"
 )
 
 func main() {
-	net := flag.String("net", "resnet18", "workload: "+strings.Join(aim.Networks(), "|"))
-	mode := flag.String("mode", "low-power", "operating mode: sprint|low-power")
-	beta := flag.Int("beta", 50, "IR-Booster stability horizon β (cycles)")
-	delta := flag.Int("delta", 16, "WDS shift δ (power of two)")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes the AIM
+// pipeline, writes the summary to stdout, and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aimc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	net := fs.String("net", "resnet18", "workload: "+strings.Join(aim.Networks(), "|"))
+	mode := fs.String("mode", "low-power", "operating mode: sprint|low-power")
+	beta := fs.Int("beta", 50, "IR-Booster stability horizon β (cycles)")
+	delta := fs.Int("delta", 16, "WDS shift δ (power of two)")
+	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "simulator worker pool: 0 = one per CPU, 1 = serial")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	res, err := aim.Run(aim.Config{
 		Network:  *net,
@@ -30,19 +46,28 @@ func main() {
 		Beta:     *beta,
 		WDSDelta: *delta,
 		Seed:     *seed,
+		Parallel: *parallel,
 	})
 	if err != nil {
-		log.Fatalf("aimc: %v", err)
+		fmt.Fprintf(stderr, "aimc: %v\n", err)
+		return 1
 	}
+	io.WriteString(stdout, render(res, *beta, *delta))
+	return 0
+}
 
-	fmt.Printf("AIM on %s (%s mode, β=%d, δ=%d)\n", res.Network, res.Mode, *beta, *delta)
-	fmt.Printf("  HR:            %.3f -> %.3f (%.1f%% lower)\n",
+// render formats the before/after summary.
+func render(res aim.Result, beta, delta int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "AIM on %s (%s mode, β=%d, δ=%d)\n", res.Network, res.Mode, beta, delta)
+	fmt.Fprintf(&sb, "  HR:            %.3f -> %.3f (%.1f%% lower)\n",
 		res.HRBaseline, res.HROptimized, 100*(1-res.HROptimized/res.HRBaseline))
-	fmt.Printf("  worst IR-drop: 140.0 -> %.1f mV (%.1f%% mitigation)\n",
+	fmt.Fprintf(&sb, "  worst IR-drop: 140.0 -> %.1f mV (%.1f%% mitigation)\n",
 		res.WorstDropMV, res.MitigationPct)
-	fmt.Printf("  macro power:   %.4f -> %.4f mW\n", res.BaselinePowerMW, res.MacroPowerMW)
-	fmt.Printf("  efficiency:    %.2fx TOPS/W\n", res.EfficiencyGain)
-	fmt.Printf("  throughput:    %.0f TOPS (%.3fx vs 256-TOPS baseline)\n", res.TOPS, res.Speedup)
-	fmt.Printf("  quality:       %.2f (surrogate)\n", res.Quality)
-	fmt.Printf("  IRFailures:    %d (delay factor %.3f)\n", res.Failures, res.DelayFactor)
+	fmt.Fprintf(&sb, "  macro power:   %.4f -> %.4f mW\n", res.BaselinePowerMW, res.MacroPowerMW)
+	fmt.Fprintf(&sb, "  efficiency:    %.2fx TOPS/W\n", res.EfficiencyGain)
+	fmt.Fprintf(&sb, "  throughput:    %.0f TOPS (%.3fx vs 256-TOPS baseline)\n", res.TOPS, res.Speedup)
+	fmt.Fprintf(&sb, "  quality:       %.2f (surrogate)\n", res.Quality)
+	fmt.Fprintf(&sb, "  IRFailures:    %d (delay factor %.3f)\n", res.Failures, res.DelayFactor)
+	return sb.String()
 }

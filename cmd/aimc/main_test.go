@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"aim"
+)
+
+func TestRenderFormatting(t *testing.T) {
+	res := aim.Result{
+		Network: "resnet18", Mode: aim.LowPower,
+		HRBaseline: 0.5, HROptimized: 0.25,
+		MitigationPct: 60.0, WorstDropMV: 56.0,
+		MacroPowerMW: 2.1, BaselinePowerMW: 4.2978,
+		EfficiencyGain: 2.05, TOPS: 256, Speedup: 1.0,
+		Quality: 70.4, Failures: 12, DelayFactor: 1.002,
+	}
+	out := render(res, 50, 16)
+	for _, want := range []string{
+		"AIM on resnet18 (low-power mode, β=50, δ=16)",
+		"HR:            0.500 -> 0.250 (50.0% lower)",
+		"worst IR-drop: 140.0 -> 56.0 mV (60.0% mitigation)",
+		"macro power:   4.2978 -> 2.1000 mW",
+		"efficiency:    2.05x TOPS/W",
+		"throughput:    256 TOPS (1.000x vs 256-TOPS baseline)",
+		"quality:       70.40 (surrogate)",
+		"IRFailures:    12 (delay factor 1.002)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "Usage of aimc") {
+		t.Errorf("usage missing: %q", stderr.String())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown network", []string{"-net", "alexnet"}, "unknown network"},
+		{"unknown mode", []string{"-mode", "turbo"}, "unknown mode"},
+	}
+	for _, c := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(c.args, &stdout, &stderr); code != 1 {
+			t.Errorf("%s: exit = %d, want 1", c.name, code)
+		}
+		if !strings.Contains(stderr.String(), c.want) {
+			t.Errorf("%s: stderr = %q, want mention of %q", c.name, stderr.String(), c.want)
+		}
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-net", "resnet18"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "AIM on resnet18") {
+		t.Errorf("summary missing:\n%s", stdout.String())
+	}
+}

@@ -27,6 +27,15 @@
 // 256-TOPS PIM chip (16 macro groups × 4 macros), a synthetic model
 // zoo mirroring the paper's six evaluation networks, and a harness
 // regenerating every table and figure of the paper's evaluation; see
-// the Run, Optimize and Experiment entry points, the examples/
-// directory, and DESIGN.md / EXPERIMENTS.md.
+// the Run, Optimize, Experiment and RunExperiments entry points, the
+// examples/ directory, and DESIGN.md / EXPERIMENTS.md.
+//
+// Simulation and experiment regeneration shard over a bounded worker
+// pool (internal/runner): the simulator splits its wave schedule
+// across workers and RunExperiments fans independent experiments out
+// concurrently. Every shard draws from its own named internal/xrand
+// stream and results merge in deterministic index order, so for a
+// fixed seed the output is bit-identical for any worker count —
+// parallelism only changes wall-clock time (see Config.Parallel and
+// ExperimentSet.Parallel).
 package aim

@@ -1,0 +1,3 @@
+module aim
+
+go 1.24

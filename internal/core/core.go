@@ -62,6 +62,9 @@ type Pipeline struct {
 	// paper's ablation configuration).
 	WDSDelta int
 	Seed     int64
+	// Parallel bounds the simulator's wave-sharding pool (0 = one
+	// worker per CPU, 1 = serial); results are identical either way.
+	Parallel int
 }
 
 // NewPipeline returns the reference deployment: the 7nm 256-TOPS chip,
@@ -95,6 +98,7 @@ func (p *Pipeline) SimOptions(s Stage, transformer bool) sim.Options {
 	opt := sim.DefaultOptions(transformer, p.Mode)
 	opt.Beta = p.Beta
 	opt.Seed = p.Seed
+	opt.Parallel = p.Parallel
 	switch s {
 	case StageBaseline:
 		opt.UseBooster = false

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sync"
+	"time"
+
+	"aim/internal/runner"
+)
+
+// MatchIDs filters the registry by an unanchored regular expression
+// (the semantics of go test -run), preserving registry order. The
+// empty pattern selects every experiment. Ids that match nothing
+// return an empty slice, not an error — callers decide whether that
+// is fatal.
+func MatchIDs(pattern string) ([]string, error) {
+	if pattern == "" {
+		return IDs(), nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bad id pattern %q: %w", pattern, err)
+	}
+	var out []string
+	for _, id := range IDs() {
+		if re.MatchString(id) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// RunSet executes the named experiments over a bounded worker pool and
+// returns their tables in the order the ids were given. workers
+// bounds only this experiment-level fan-out (<= 0 means one per CPU,
+// 1 dispatches experiments one at a time); the experiments' inner
+// shards — networks, β points, simulation waves — use their own
+// GOMAXPROCS-bounded pools regardless. Each shard at every level
+// derives its stochastic streams from (seed, its own names), so the
+// rendered tables are byte-identical for any worker count — RunSet
+// with 1 worker and with N agree bit for bit. Unknown ids fail before
+// any experiment runs; ctx cancellation stops un-started experiments
+// and returns ctx.Err().
+//
+// onDone, when non-nil, is called after each experiment finishes, in
+// completion order, with the experiment's wall-clock time; calls are
+// serialized, so the callback needs no locking of its own.
+func RunSet(ctx context.Context, ids []string, seed int64, workers int, onDone func(id string, elapsed time.Duration)) ([]*Table, error) {
+	runs := make([]Runner, len(ids))
+	for i, id := range ids {
+		run, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
+		}
+		runs[i] = run
+	}
+	var mu sync.Mutex
+	return runner.Map(ctx, len(ids), workers, func(i int) (*Table, error) {
+		start := time.Now()
+		tbl := runs[i](seed)
+		elapsed := time.Since(start)
+		if onDone != nil {
+			mu.Lock()
+			onDone(ids[i], elapsed)
+			mu.Unlock()
+		}
+		return tbl, nil
+	})
+}
+
+// shardRows evaluates fn(i) for i in [0, n) on the shared worker pool
+// (one worker per CPU) and appends each shard's rows to the table in
+// index order. It is the experiments' inner-loop sharding helper: fn
+// must derive its randomness from streams named by its own index or
+// inputs — never from a stream shared across indices — which keeps the
+// table bytes independent of the worker count.
+func shardRows(t *Table, n int, fn func(i int) [][]string) {
+	for _, rows := range runner.Collect(n, 0, fn) {
+		t.Rows = append(t.Rows, rows...)
+	}
+}
+
+// rowsOf collects the rows a shard produced through a scratch table,
+// so shard bodies can keep using AddRow/AddRowf idioms.
+func rowsOf(fill func(t *Table)) [][]string {
+	var scratch Table
+	fill(&scratch)
+	return scratch.Rows
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMatchIDs(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    []string
+	}{
+		{"", IDs()},
+		{"^fig1[23]$", []string{"fig12", "fig13"}},
+		{"table", []string{"table2", "table3"}},
+		{"overhead", []string{"overhead"}},
+		{"nosuchexperiment", nil},
+	}
+	for _, c := range cases {
+		got, err := MatchIDs(c.pattern)
+		if err != nil {
+			t.Fatalf("MatchIDs(%q): %v", c.pattern, err)
+		}
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("MatchIDs(%q) = %v, want %v", c.pattern, got, c.want)
+		}
+	}
+	if _, err := MatchIDs("(unbalanced"); err == nil {
+		t.Error("bad regexp must error")
+	}
+}
+
+func TestRunSetUnknownID(t *testing.T) {
+	if _, err := RunSet(context.Background(), []string{"fig3", "fig99"}, seed, 1, nil); err == nil {
+		t.Error("unknown id must fail before running anything")
+	}
+}
+
+func TestRunSetCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSet(ctx, []string{"overhead"}, seed, 1, nil); err == nil {
+		t.Error("cancelled context must be reported")
+	}
+}
+
+func TestRunSetOnDone(t *testing.T) {
+	ids := []string{"overhead", "vfsens"}
+	var done []string
+	_, err := RunSet(context.Background(), ids, seed, 4, func(id string, elapsed time.Duration) {
+		if elapsed < 0 {
+			t.Errorf("%s: negative elapsed %v", id, elapsed)
+		}
+		done = append(done, id) // serialized by the engine: no lock needed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(done)
+	if strings.Join(done, ",") != "overhead,vfsens" {
+		t.Errorf("onDone saw %v, want each id exactly once", done)
+	}
+}
+
+// TestRunSetParallelMatchesSerial is the engine's determinism
+// guarantee: for a fixed seed, the rendered tables are byte-identical
+// whether the set runs on one worker or many, because every shard —
+// experiment, network, wave — draws from its own named xrand stream.
+func TestRunSetParallelMatchesSerial(t *testing.T) {
+	// A cross-section of the registry: sim-backed (fig3), quant-backed
+	// (table2), pool-sharded inner loops (fig14), and closed-form
+	// (vfsens, overhead).
+	ids := []string{"fig3", "table2", "fig14", "vfsens", "overhead"}
+	serial, err := RunSet(context.Background(), ids, seed, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3, 8} {
+		par, err := RunSet(context.Background(), ids, seed, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d tables, want %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i].ID != ids[i] {
+				t.Errorf("workers=%d: table %d is %s, want %s (merge order broken)", workers, i, par[i].ID, ids[i])
+			}
+			if got, want := par[i].Render(), serial[i].Render(); got != want {
+				t.Errorf("workers=%d: %s diverges from serial:\n--- parallel ---\n%s\n--- serial ---\n%s", workers, ids[i], got, want)
+			}
+		}
+	}
+}

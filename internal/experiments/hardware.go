@@ -11,6 +11,7 @@ import (
 	"aim/internal/pdn"
 	"aim/internal/pim"
 	"aim/internal/quant"
+	"aim/internal/runner"
 	"aim/internal/sim"
 	"aim/internal/stream"
 	"aim/internal/tensor"
@@ -29,7 +30,9 @@ func Fig3(seed int64) *Table {
 	paper := map[string]string{"yolov5": "50%", "resnet18": "54%", "vit": "61%", "llama3": "63%"}
 	cfg := pim.DefaultConfig()
 	signoff := irdrop.DPIMModel().SignoffWorstMV()
-	for _, name := range []string{"yolov5", "resnet18", "vit", "llama3"} {
+	names := []string{"yolov5", "resnet18", "vit", "llama3"}
+	shardRows(t, len(names), func(i int) [][]string {
+		name := names[i]
 		net, err := model.ByName(name, seed)
 		if err != nil {
 			panic(err)
@@ -38,8 +41,8 @@ func Fig3(seed int64) *Table {
 		opt := sim.DVFSOptions(net.Transformer, vf.LowPower)
 		opt.Seed = seed
 		res := sim.Run(c, cfg, opt)
-		t.AddRow(name, f2(res.WorstDropMV), pct(res.WorstDropMV/signoff), paper[name])
-	}
+		return [][]string{{name, f2(res.WorstDropMV), pct(res.WorstDropMV / signoff), paper[name]}}
+	})
 	t.Notes = "sign-off worst case = 140 mV (100%). Shape: every workload's worst sits at 50-65%, transformers above conv nets."
 	return t
 }
@@ -135,9 +138,11 @@ func Fig17(seed int64) *Table {
 		Header: []string{"condition", "peak current (A)", "mean current (A)", "min bump V", "mean bump V"},
 	}
 	net := model.ResNet18(seed)
-	p := core.NewPipeline(vf.LowPower)
-	p.Seed = seed
-	for _, s := range []core.Stage{core.StageBaseline, core.StageBooster} {
+	stages := []core.Stage{core.StageBaseline, core.StageBooster}
+	shardRows(t, len(stages), func(i int) [][]string {
+		s := stages[i]
+		p := core.NewPipeline(vf.LowPower)
+		p.Seed = seed
 		res := p.RunStage(net, s)
 		cur := res.Result.CurrentTrace
 		volt := res.Result.VoltageTrace
@@ -151,8 +156,8 @@ func Fig17(seed int64) *Table {
 		if s == core.StageBooster {
 			label = "after AIM"
 		}
-		t.AddRow(label, f3(maxOf(cur)), f3(meanOf(cur)), f3(minV), f3(meanOf(volt)))
-	}
+		return [][]string{{label, f3(maxOf(cur)), f3(meanOf(cur)), f3(minV), f3(meanOf(volt))}}
+	})
 	t.Notes = "paper Fig. 17: AIM cuts demanded drive current and bump current and stabilizes bump voltage; full per-cycle traces are available from sim.Result."
 	return t
 }
@@ -165,21 +170,27 @@ func Sec66(seed int64) *Table {
 		Title:  "Headline results on the 7nm 256-TOPS PIM (§6.6)",
 		Header: []string{"workload", "mode", "drop (mV)", "mitigation", "macro power (mW)", "eff. gain", "TOPS", "speedup"},
 	}
-	for _, name := range []string{"resnet18", "vit"} {
-		net, err := model.ByName(name, seed)
+	combos := []struct {
+		name string
+		mode vf.Mode
+	}{
+		{"resnet18", vf.LowPower}, {"resnet18", vf.Sprint},
+		{"vit", vf.LowPower}, {"vit", vf.Sprint},
+	}
+	shardRows(t, len(combos), func(i int) [][]string {
+		c := combos[i]
+		net, err := model.ByName(c.name, seed)
 		if err != nil {
 			panic(err)
 		}
-		for _, mode := range []vf.Mode{vf.LowPower, vf.Sprint} {
-			p := core.NewPipeline(mode)
-			p.Seed = seed
-			rep := p.Run(net)
-			t.AddRow(name, mode.String(),
-				f2(rep.AIM.Result.WorstWeightOpDropMV), pct(rep.Mitigation()),
-				f3(rep.AIM.Result.AvgMacroPowerMW), f2(rep.EfficiencyGain())+"x",
-				fmt.Sprintf("%.0f", rep.AIM.Result.TOPS), f3(rep.Speedup())+"x")
-		}
-	}
+		p := core.NewPipeline(c.mode)
+		p.Seed = seed
+		rep := p.Run(net)
+		return [][]string{{c.name, c.mode.String(),
+			f2(rep.AIM.Result.WorstWeightOpDropMV), pct(rep.Mitigation()),
+			f3(rep.AIM.Result.AvgMacroPowerMW), f2(rep.EfficiencyGain()) + "x",
+			fmt.Sprintf("%.0f", rep.AIM.Result.TOPS), f3(rep.Speedup()) + "x"}}
+	})
 	t.Notes = "paper: 140 → 58.1-43.2 mV (58.5-69.2% mitigation); 4.2978 → 2.243-1.876 mW (1.91-2.29x); 256 → 289-295 TOPS (1.129-1.152x, sprint)."
 	return t
 }
@@ -199,10 +210,10 @@ func Fig18(seed int64) *Table {
 		mitRef float64
 		delRef float64
 	}
-	refs := map[string]*ref{}
+	names := []string{"resnet18", "vit"}
 	m := irdrop.DPIMModel()
-	for _, name := range []string{"resnet18", "vit"} {
-		net, _ := model.ByName(name, seed)
+	refList := runner.Collect(len(names), 0, func(i int) *ref {
+		net, _ := model.ByName(names[i], seed)
 		opt := compiler.DefaultOptions()
 		opt.Strategy = compiler.SequentialMap
 		c := compiler.Compile(net, cfg, opt)
@@ -210,16 +221,17 @@ func Fig18(seed int64) *Table {
 		safeOpt.Aggressive = false
 		safeOpt.Seed = seed
 		safe := sim.Run(c, cfg, safeOpt)
-		refs[name] = &ref{
+		return &ref{
 			c: c, netT: net.Transformer,
 			mitRef: 1 - m.Estimate(safe.AvgLevelRtog)/m.SignoffWorstMV(),
 			delRef: safe.DelayFactor,
 		}
-	}
-	for _, beta := range []int{90, 80, 70, 60, 50, 40, 30, 20, 10} {
+	})
+	betas := []int{90, 80, 70, 60, 50, 40, 30, 20, 10}
+	shardRows(t, len(betas), func(i int) [][]string {
+		beta := betas[i]
 		row := []string{fmt.Sprint(beta)}
-		for _, name := range []string{"resnet18", "vit"} {
-			r := refs[name]
+		for _, r := range refList {
 			opt := sim.DefaultOptions(r.netT, vf.LowPower)
 			opt.Beta = beta
 			opt.Seed = seed
@@ -227,8 +239,8 @@ func Fig18(seed int64) *Table {
 			mit := 1 - m.Estimate(res.AvgLevelRtog)/m.SignoffWorstMV()
 			row = append(row, f3(mit/r.mitRef), f3(res.DelayFactor/r.delRef))
 		}
-		t.AddRow(row...)
-	}
+		return [][]string{row}
+	})
 	t.Notes = "normalized against safe-level-only IR-Booster. Shape: smaller β → more mitigation ability, more delay cycles; ViT (input-dependent ops) gains and pays more."
 	return t
 }
@@ -241,25 +253,29 @@ func Fig19(seed int64) *Table {
 		Title:  "Ablation: IR-drop, power, performance per AIM stage (Fig. 19)",
 		Header: []string{"workload", "stage", "drop (mV)", "macro power (mW)", "eff. TOPS"},
 	}
-	for _, name := range []string{"vit", "resnet18"} {
+	names := []string{"vit", "resnet18"}
+	shardRows(t, len(names), func(i int) [][]string {
+		name := names[i]
 		net, err := model.ByName(name, seed)
 		if err != nil {
 			panic(err)
 		}
-		p := core.NewPipeline(vf.LowPower)
-		p.Seed = seed
-		for _, s := range core.Stages() {
-			res := p.RunStage(net, s)
-			tops := res.Result.TOPS
-			if s == core.StageBooster {
-				// Performance column uses sprint mode, as the paper does.
-				ps := core.NewPipeline(vf.Sprint)
-				ps.Seed = seed
-				tops = ps.RunStage(net, s).Result.TOPS
+		return rowsOf(func(t *Table) {
+			p := core.NewPipeline(vf.LowPower)
+			p.Seed = seed
+			for _, s := range core.Stages() {
+				res := p.RunStage(net, s)
+				tops := res.Result.TOPS
+				if s == core.StageBooster {
+					// Performance column uses sprint mode, as the paper does.
+					ps := core.NewPipeline(vf.Sprint)
+					ps.Seed = seed
+					tops = ps.RunStage(net, s).Result.TOPS
+				}
+				t.AddRow(name, s.String(), f2(res.Result.WorstWeightOpDropMV), f3(res.Result.AvgMacroPowerMW), fmt.Sprintf("%.0f", tops))
 			}
-			t.AddRow(name, s.String(), f2(res.Result.WorstWeightOpDropMV), f3(res.Result.AvgMacroPowerMW), fmt.Sprintf("%.0f", tops))
-		}
-	}
+		})
+	})
 	t.Notes = "paper Fig. 19: conv workloads gain mostly from LHR; transformers gain mostly from IR-Booster (input-determined QKT/SV defeat offline optimization)."
 	return t
 }
@@ -273,8 +289,9 @@ func Fig20(seed int64) *Table {
 		Header: []string{"workload", "booster only", "+LHR", "+LHR+WDS"},
 	}
 	cfg := pim.DefaultConfig()
-	for _, name := range []string{"resnet18", "mobilenetv2", "yolov5", "vit", "llama3", "gpt2"} {
-		net, err := model.ByName(name, seed)
+	names := []string{"resnet18", "mobilenetv2", "yolov5", "vit", "llama3", "gpt2"}
+	shardRows(t, len(names), func(i int) [][]string {
+		net, err := model.ByName(names[i], seed)
 		if err != nil {
 			panic(err)
 		}
@@ -293,11 +310,11 @@ func Fig20(seed int64) *Table {
 			r := sim.Run(c, cfg, so)
 			return (r.TOPS / r.AvgMacroPowerMW) / baseEff
 		}
-		t.AddRow(name,
-			f2(gain(false, 0))+"x",
-			f2(gain(true, 0))+"x",
-			f2(gain(true, 16))+"x")
-	}
+		return [][]string{{names[i],
+			f2(gain(false, 0)) + "x",
+			f2(gain(true, 0)) + "x",
+			f2(gain(true, 16)) + "x"}}
+	})
 	t.Notes = "paper Fig. 20: IR-Booster alone 1.51-2.10x; +LHR+WDS up to 2.64x. Ordering must hold per row: booster < +LHR < +LHR+WDS."
 	return t
 }
@@ -347,19 +364,19 @@ func Fig21(seed int64) *Table {
 			return best
 		}},
 	}
-	for _, mix := range mixes {
-		for _, st := range strategies {
-			evalLP := mapping.NewEvaluator(cfg, irdrop.DPIMModel(), vf.LowPower, xrand.NewNamed(seed, "fig21/lp/"+mix.name))
-			evalSP := mapping.NewEvaluator(cfg, irdrop.DPIMModel(), vf.Sprint, xrand.NewNamed(seed, "fig21/sp/"+mix.name))
-			rngLP := xrand.NewNamed(seed, "fig21/"+mix.name+st.name+"/lp")
-			rngSP := xrand.NewNamed(seed, "fig21/"+mix.name+st.name+"/sp")
-			mLP := st.run(mix.tasks, evalLP, rngLP)
-			mSP := st.run(mix.tasks, evalSP, rngSP)
-			lp := evalLP.Evaluate(mLP, mix.tasks)
-			sp := evalSP.Evaluate(mSP, mix.tasks)
-			t.AddRow(mix.name, st.name, f2(lp.PowerMW), fmt.Sprintf("%.0f", sp.TOPS))
-		}
-	}
+	shardRows(t, len(mixes)*len(strategies), func(i int) [][]string {
+		mix := mixes[i/len(strategies)]
+		st := strategies[i%len(strategies)]
+		evalLP := mapping.NewEvaluator(cfg, irdrop.DPIMModel(), vf.LowPower, xrand.NewNamed(seed, "fig21/lp/"+mix.name))
+		evalSP := mapping.NewEvaluator(cfg, irdrop.DPIMModel(), vf.Sprint, xrand.NewNamed(seed, "fig21/sp/"+mix.name))
+		rngLP := xrand.NewNamed(seed, "fig21/"+mix.name+st.name+"/lp")
+		rngSP := xrand.NewNamed(seed, "fig21/"+mix.name+st.name+"/sp")
+		mLP := st.run(mix.tasks, evalLP, rngLP)
+		mSP := st.run(mix.tasks, evalSP, rngSP)
+		lp := evalLP.Evaluate(mLP, mix.tasks)
+		sp := evalSP.Evaluate(mSP, mix.tasks)
+		return [][]string{{mix.name, st.name, f2(lp.PowerMW), fmt.Sprintf("%.0f", sp.TOPS)}}
+	})
 	t.Notes = "paper Fig. 21: HR-aware mapping dominates on both axes for every operator mix; naive mappings co-locate incompatible HR levels."
 	return t
 }
@@ -392,7 +409,9 @@ func Fig22(seed int64) *Table {
 		Title:  "AIM on APIM and on a pure adder tree (Fig. 22)",
 		Header: []string{"target", "workload", "normalized IR-drop w AIM", "mitigation"},
 	}
-	for _, name := range []string{"vit", "resnet18"} {
+	names := []string{"vit", "resnet18"}
+	shardRows(t, len(names), func(i int) [][]string {
+		name := names[i]
 		net, err := model.ByName(name, seed)
 		if err != nil {
 			panic(err)
@@ -405,7 +424,6 @@ func Fig22(seed int64) *Table {
 		so := sim.DefaultOptions(net.Transformer, vf.LowPower)
 		so.Seed = seed
 		res := sim.Run(c, acfg, so)
-		t.AddRow("APIM 28nm", name, f3(1-res.WeightOpMitigation), pct(res.WeightOpMitigation))
 		// Pure adder tree: measure the register-level switching
 		// activity of a bit-serial reduction tree fed by baseline vs
 		// optimized weights (pim.AdderTree), and map activity through a
@@ -415,8 +433,11 @@ func Fig22(seed int64) *Table {
 		actOpt := adderTreeActivity(c, seed)
 		adder := irdrop.Model{StaticMV: 4, DynCoeffMV: 136, NoiseMV: 5}
 		mit := 1 - adder.Estimate(actOpt)/adder.Estimate(actBase)
-		t.AddRow("adder tree", name, f3(1-mit), pct(mit))
-	}
+		return [][]string{
+			{"APIM 28nm", name, f3(1 - res.WeightOpMitigation), pct(res.WeightOpMitigation)},
+			{"adder tree", name, f3(1 - mit), pct(mit)},
+		}
+	})
 	t.Notes = "paper §7: APIM mitigation ~50% (larger static share, analog sensitivity); bit-serial adder trees still mitigate notably → AIM extends to digital MAC fabrics."
 	return t
 }

@@ -19,16 +19,18 @@ func Table2(seed int64) *Table {
 		Title:  "HRaverage and HRmax reduction over baseline (Table 2)",
 		Header: []string{"model", "LHR avg", "WDS8 avg", "WDS16 avg", "LHR max", "WDS8 max", "WDS16 max"},
 	}
-	for _, n := range model.All(seed) {
+	nets := model.All(seed)
+	shardRows(t, len(nets), func(i int) [][]string {
+		n := nets[i]
 		b := model.NetworkHR(n, model.BaselineConfig())
 		l := model.NetworkHR(n, model.LHRConfig())
 		w8 := model.NetworkHR(n, model.WDSConfig(8))
 		w16 := model.NetworkHR(n, model.WDSConfig(16))
 		rel := func(x, y float64) float64 { return (x - y) / x }
-		t.AddRow(n.Name,
+		return [][]string{{n.Name,
 			pct(rel(b.Average, l.Average)), pct(rel(b.Average, w8.Average)), pct(rel(b.Average, w16.Average)),
-			pct(rel(b.Max, l.Max)), pct(rel(b.Max, w8.Max)), pct(rel(b.Max, w16.Max)))
-	}
+			pct(rel(b.Max, l.Max)), pct(rel(b.Max, w8.Max)), pct(rel(b.Max, w16.Max))}}
+	})
 	t.Notes = "paper (avg): resnet18 28/39/45.6  mobilenet 29/30.6/33.6  yolov5 23/31.5/38.6  vit 25.9/31.9/35.6  llama3 25.9/30.7/36.3  gpt2 30.7/38/41.5"
 	return t
 }
@@ -52,7 +54,8 @@ func Table3(seed int64) *Table {
 		{quant.BRECQLite, "resnet18", 73.02, quant.Accuracy},
 		{quant.BRECQLite, "mobilenetv2", 69.715, quant.Accuracy},
 	}
-	for _, c := range cases {
+	shardRows(t, len(cases), func(i int) [][]string {
+		c := cases[i]
 		net, err := model.ByName(c.name, seed)
 		if err != nil {
 			panic(err)
@@ -84,8 +87,8 @@ func Table3(seed int64) *Table {
 		lhrAcc.DriftFree = 0
 		lhrAcc.DriftSens = acc.DriftSens * 0.15
 		qualLHR := lhrAcc.AfterDrift(driftSum / elems)
-		t.AddRow(c.method.String(), c.name, f3(hrPlain), f3(hrLHR), f2(qualPlain), f2(qualLHR))
-	}
+		return [][]string{{c.method.String(), c.name, f3(hrPlain), f3(hrLHR), f2(qualPlain), f2(qualLHR)}}
+	})
 	t.Notes = "paper: OmniQuant gpt2 0.51→0.47 (ppl 28.69→28.72); llama3 0.53→0.49 (11.16→10.947); BRECQ resnet18 0.5→0.47 (73.02→72.9); mobilenetv2 0.49→0.46 (69.715→69.71)"
 	return t
 }
@@ -108,7 +111,8 @@ func Fig5(seed int64) *Table {
 	}
 	cfg := pim.Config{Kind: pim.DPIM, Groups: 1, MacrosPerGroup: 1, BanksPerMacro: 64, CellsPerBank: 128, WeightBits: 8}
 	const cycles = 50000
-	for _, c := range cases {
+	shardRows(t, len(cases), func(i int) [][]string {
+		c := cases[i]
 		net, err := model.ByName(c.netName, seed)
 		if err != nil {
 			panic(err)
@@ -122,29 +126,31 @@ func Fig5(seed int64) *Table {
 		if layer == nil {
 			panic("fig5: layer not found: " + c.layerName)
 		}
-		for _, withOpt := range []bool{false, true} {
-			q := quant.Quantize(layer.Weights, 8)
-			label := "w/o HR-opt"
-			if withOpt {
-				res := quant.ApplyLHR(layer.Weights, 8, net.LHROptions())
-				q, _ = quant.ShiftWeights(res.After, 8)
-				label = "w HR-opt"
+		return rowsOf(func(t *Table) {
+			for _, withOpt := range []bool{false, true} {
+				q := quant.Quantize(layer.Weights, 8)
+				label := "w/o HR-opt"
+				if withOpt {
+					res := quant.ApplyLHR(layer.Weights, 8, net.LHROptions())
+					q, _ = quant.ShiftWeights(res.After, 8)
+					label = "w HR-opt"
+				}
+				codes := q.Codes.Data
+				if len(codes) > cfg.WeightsPerMacro() {
+					codes = codes[:cfg.WeightsPerMacro()]
+				}
+				macro := pim.NewMacro(cfg, codes)
+				rng := xrand.NewNamed(seed, "fig5/"+c.layerName+label)
+				vectors := cycles/8 + 1
+				src := stream.WorkloadToggles(c.acts, cfg.CellsPerBank, vectors, rng)
+				trace := macro.RtogTrace(src, cycles)
+				sorted := sortedCopy(trace)
+				p99 := sorted[len(sorted)*99/100]
+				t.AddRow(c.netName+"/"+c.layerName, label,
+					pct(macro.HR()), pct(maxOf(trace)), pct(meanOf(trace)), pct(p99))
 			}
-			codes := q.Codes.Data
-			if len(codes) > cfg.WeightsPerMacro() {
-				codes = codes[:cfg.WeightsPerMacro()]
-			}
-			macro := pim.NewMacro(cfg, codes)
-			rng := xrand.NewNamed(seed, "fig5/"+c.layerName+label)
-			vectors := cycles/8 + 1
-			src := stream.WorkloadToggles(c.acts, cfg.CellsPerBank, vectors, rng)
-			trace := macro.RtogTrace(src, cycles)
-			sorted := sortedCopy(trace)
-			p99 := sorted[len(sorted)*99/100]
-			t.AddRow(c.netName+"/"+c.layerName, label,
-				pct(macro.HR()), pct(maxOf(trace)), pct(meanOf(trace)), pct(p99))
-		}
-	}
+		})
+	})
 	t.Notes = "paper: resnet18 layer3.0.conv1 HR 51.7→29.8%, max(Rtog) 43.7→23.6%; vit fc1 HR 49.9→35.8%, max(Rtog) 40.2→28.3%. Invariant: max(Rtog) <= HR in every row."
 	return t
 }
@@ -244,12 +250,16 @@ func Fig13(seed int64) *Table {
 		{"(c) +WDS(8)", model.WDSConfig(8)},
 		{"(d) +WDS(16)", model.WDSConfig(16)},
 	}
-	for _, n := range model.All(seed) {
-		for _, c := range configs {
-			st := model.NetworkHR(n, c.cfg)
-			t.AddRow(n.Name, c.label, f3(st.Average), f2(n.Quality(st)), n.Profile.Acc.Metric.String())
-		}
-	}
+	nets := model.All(seed)
+	shardRows(t, len(nets), func(i int) [][]string {
+		n := nets[i]
+		return rowsOf(func(t *Table) {
+			for _, c := range configs {
+				st := model.NetworkHR(n, c.cfg)
+				t.AddRow(n.Name, c.label, f3(st.Average), f2(n.Quality(st)), n.Profile.Acc.Metric.String())
+			}
+		})
+	})
 	t.Notes = "paper: HR falls sharply across (a)→(d) while quality moves <1 point; ViT/Llama3 improve slightly (regularization effect)."
 	return t
 }
@@ -282,7 +292,7 @@ func Fig14(seed int64) *Table {
 		}
 		ref[i] /= elems
 	}
-	for delta := 0; delta <= 17; delta++ {
+	shardRows(t, 18, func(delta int) [][]string {
 		row := []string{fmt.Sprint(delta)}
 		for i := range nets {
 			var hr, elems float64
@@ -293,8 +303,8 @@ func Fig14(seed int64) *Table {
 			}
 			row = append(row, f3(hr/elems/ref[i]))
 		}
-		t.AddRow(row...)
-	}
+		return [][]string{row}
+	})
 	t.Notes = "paper Fig. 14: normalized HR dips below 1.0 only at δ=8 and δ=16; other δ raise HR (two's-complement alignment)."
 	return t
 }
@@ -308,32 +318,41 @@ func Fig15(seed int64) *Table {
 		Title:  "Pruning vs/+ LHR&WDS: accuracy vs HR (Fig. 15)",
 		Header: []string{"model", "config", "sparsity", "HR", "accuracy"},
 	}
-	for _, n := range []*model.Network{model.ResNet18(seed), model.ViT(seed)} {
-		lhrOpt := n.LHROptions()
-		// Reference points without pruning.
-		lhrStats := model.NetworkHR(n, model.LHRConfig())
-		t.AddRow(n.Name, "LHR", "0%", f3(lhrStats.Average), f2(n.Quality(lhrStats)))
-		wdsStats := model.NetworkHR(n, model.WDSConfig(8))
-		t.AddRow(n.Name, "LHR+WDS(8)", "0%", f3(wdsStats.Average), f2(n.Quality(wdsStats)))
-		for _, target := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
-			sched := quant.GMPSchedule{Target: target, Steps: 8}
-			var hrP, hrPL, elems, driftPL float64
-			for _, l := range n.WeightLayers() {
-				pruned := quant.RunGMP(l.Weights, sched)
-				e := float64(l.Elems())
-				qp := quant.Quantize(pruned, 8)
-				hrP += qp.HR() * e
-				res := quant.ApplyLHR(pruned, 8, lhrOpt)
-				hrPL += res.After.HR() * e
-				driftPL += res.Drift * e
-				elems += e
-			}
-			accP := n.Profile.Acc.AfterPrune(target, 0)
-			accPL := n.Profile.Acc.AfterPrune(target, driftPL/elems)
-			t.AddRow(n.Name, "pruning", pct(target), f3(hrP/elems), f2(accP))
-			t.AddRow(n.Name, "pruning+LHR", pct(target), f3(hrPL/elems), f2(accPL))
-		}
-	}
+	nets := []*model.Network{model.ResNet18(seed), model.ViT(seed)}
+	shardRows(t, len(nets), func(ni int) [][]string {
+		n := nets[ni]
+		return rowsOf(func(t *Table) {
+			fig15Rows(t, n)
+		})
+	})
 	t.Notes = "paper Fig. 15: pruning lowers HR but costs accuracy as sparsity grows; LHR(+WDS) reaches lower HR at near-baseline accuracy; the two compose."
 	return t
+}
+
+// fig15Rows emits one network's reference and pruning-sweep rows.
+func fig15Rows(t *Table, n *model.Network) {
+	lhrOpt := n.LHROptions()
+	// Reference points without pruning.
+	lhrStats := model.NetworkHR(n, model.LHRConfig())
+	t.AddRow(n.Name, "LHR", "0%", f3(lhrStats.Average), f2(n.Quality(lhrStats)))
+	wdsStats := model.NetworkHR(n, model.WDSConfig(8))
+	t.AddRow(n.Name, "LHR+WDS(8)", "0%", f3(wdsStats.Average), f2(n.Quality(wdsStats)))
+	for _, target := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		sched := quant.GMPSchedule{Target: target, Steps: 8}
+		var hrP, hrPL, elems, driftPL float64
+		for _, l := range n.WeightLayers() {
+			pruned := quant.RunGMP(l.Weights, sched)
+			e := float64(l.Elems())
+			qp := quant.Quantize(pruned, 8)
+			hrP += qp.HR() * e
+			res := quant.ApplyLHR(pruned, 8, lhrOpt)
+			hrPL += res.After.HR() * e
+			driftPL += res.Drift * e
+			elems += e
+		}
+		accP := n.Profile.Acc.AfterPrune(target, 0)
+		accPL := n.Profile.Acc.AfterPrune(target, driftPL/elems)
+		t.AddRow(n.Name, "pruning", pct(target), f3(hrP/elems), f2(accP))
+		t.AddRow(n.Name, "pruning+LHR", pct(target), f3(hrPL/elems), f2(accPL))
+	}
 }

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		n, jobs, want int
+	}{
+		{4, 100, 4},
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{8, 3, 3},
+		{1, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.n, c.jobs); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.n, c.jobs, got, c.want)
+		}
+	}
+}
+
+func TestMapDeterministicOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := Map(context.Background(), 100, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 64)
+	err := Do(context.Background(), 64, 7, func(i int) error {
+		count.Add(1)
+		if seen[i].Swap(true) {
+			return fmt.Errorf("index %d ran twice", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 64 {
+		t.Errorf("ran %d indices, want 64", count.Load())
+	}
+}
+
+func TestDoFirstErrorInIndexOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := Do(context.Background(), 50, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 40:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("got %v, want the lowest-index error %v", err, errA)
+	}
+}
+
+func TestDoErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := Do(context.Background(), 10000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == 10000 {
+		t.Error("error did not stop dispatch: all indices ran")
+	}
+}
+
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Do(ctx, 10000, 2, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 10000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestDoSerialPathPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int
+	err := Do(ctx, 10, 1, func(i int) error { ran++; return nil })
+	if !errors.Is(err, context.Canceled) || ran != 0 {
+		t.Errorf("pre-cancelled serial Do ran %d jobs, err %v", ran, err)
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	if err := Do(context.Background(), 0, 4, func(i int) error { return errors.New("no") }); err != nil {
+		t.Errorf("zero jobs should be a no-op, got %v", err)
+	}
+}
+
+func TestDoLateCancelKeepsCompletedWork(t *testing.T) {
+	// A context that expires after every index has already been
+	// dispatched and run must not turn a complete result set into an
+	// error (same inputs, any worker count → same outcome).
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Do(ctx, 8, 4, func(i int) error {
+		if ran.Add(1) == 8 {
+			cancel() // expires while workers drain, after full dispatch
+		}
+		return nil
+	})
+	if err != nil {
+		t.Errorf("all work completed, got %v, want nil", err)
+	}
+	out, err := Map(ctx, 4, 2, func(i int) (int, error) { return i, nil })
+	if out != nil || err == nil {
+		t.Errorf("cancelled-before-dispatch Map: out=%v err=%v, want nil+error", out, err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	got := Collect(16, 0, func(i int) string { return fmt.Sprint(i) })
+	for i, v := range got {
+		if v != fmt.Sprint(i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 4, 2, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("fail")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map with error: out=%v err=%v, want nil+error", out, err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"aim/internal/compiler"
 	"aim/internal/irdrop"
 	"aim/internal/pim"
+	"aim/internal/runner"
 	"aim/internal/vf"
 	"aim/internal/xrand"
 )
@@ -37,6 +38,12 @@ type Options struct {
 	Seed int64
 	// TraceWave, when >= 0, records per-cycle traces for that wave.
 	TraceWave int
+	// Parallel bounds the worker pool that shards the wave schedule:
+	// 0 means one worker per CPU (GOMAXPROCS), 1 forces the serial
+	// reference path, N > 1 uses N workers. Every wave draws from its
+	// own xrand shard stream, so the result is bit-identical for any
+	// worker count — parallelism is purely a wall-clock knob.
+	Parallel int
 }
 
 // DefaultOptions returns the reference configuration for a workload
@@ -101,7 +108,12 @@ type Result struct {
 // exceeds the level's sign-off drop by this many noise sigmas.
 const guardSigma = 2.5
 
-// Run executes the compiled workload.
+// Run executes the compiled workload. The wave schedule is sharded
+// over a bounded worker pool (see Options.Parallel): each wave is an
+// independent unit of simulation seeded with its own xrand shard
+// stream, and the per-wave results are merged in schedule order, so
+// every field of the Result is bit-identical no matter how many
+// workers execute the shards.
 func Run(c *compiler.Compiled, cfg pim.Config, opt Options) Result {
 	if opt.Beta <= 0 {
 		opt.Beta = 50
@@ -112,15 +124,16 @@ func Run(c *compiler.Compiled, cfg pim.Config, opt Options) Result {
 	m := modelForKind(cfg.Kind)
 	table := vf.NewTable(m)
 	power := vf.DefaultPowerModel()
-	rng := xrand.NewNamed(opt.Seed, "sim/"+c.Net.Name)
+
+	waves := runner.Collect(len(c.Waves), opt.Parallel, func(wi int) waveResult {
+		rng := xrand.NewShard(opt.Seed, "sim/"+c.Net.Name, wi)
+		return runWave(c.Waves[wi], cfg, m, table, power, opt, rng, wi == opt.TraceWave)
+	})
 
 	var agg aggregate
-	for wi, w := range c.Waves {
-		tr := wi == opt.TraceWave
-		res := runWave(w, cfg, m, table, power, opt, rng, tr)
-		weight := float64(w.Rounds)
-		agg.add(res, weight)
-		if tr {
+	for wi, res := range waves {
+		agg.add(res, float64(c.Waves[wi].Rounds))
+		if wi == opt.TraceWave {
 			agg.dropTrace = res.dropTrace
 			agg.currentTrace = res.currentTrace
 			agg.voltageTrace = res.voltageTrace

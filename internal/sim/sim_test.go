@@ -171,6 +171,42 @@ func TestTracesRecorded(t *testing.T) {
 	}
 }
 
+func TestParallelMatchesSerial(t *testing.T) {
+	// The sharded wave schedule must produce a bit-identical Result for
+	// any worker count: every wave draws from its own xrand shard
+	// stream and the merge folds in schedule order.
+	_, aim, net := compileBoth(t, "resnet18")
+	cfg := pim.DefaultConfig()
+	serialOpt := DefaultOptions(net.Transformer, vf.LowPower)
+	serialOpt.Parallel = 1
+	serial := Run(aim, cfg, serialOpt)
+	for _, workers := range []int{0, 2, 4, 7} {
+		opt := serialOpt
+		opt.Parallel = workers
+		par := Run(aim, cfg, opt)
+		if par.AvgMacroPowerMW != serial.AvgMacroPowerMW ||
+			par.TOPS != serial.TOPS ||
+			par.WorstDropMV != serial.WorstDropMV ||
+			par.WorstWeightOpDropMV != serial.WorstWeightOpDropMV ||
+			par.AvgDropMV != serial.AvgDropMV ||
+			par.AvgLevelRtog != serial.AvgLevelRtog ||
+			par.Failures != serial.Failures ||
+			par.Cycles != serial.Cycles ||
+			par.UsefulCycles != serial.UsefulCycles ||
+			par.DelayFactor != serial.DelayFactor {
+			t.Errorf("Parallel=%d diverges from serial:\n  par=%+v\n  ser=%+v", workers, par, serial)
+		}
+		if len(par.DropTraceMV) != len(serial.DropTraceMV) {
+			t.Fatalf("Parallel=%d trace length %d != serial %d", workers, len(par.DropTraceMV), len(serial.DropTraceMV))
+		}
+		for i := range par.DropTraceMV {
+			if par.DropTraceMV[i] != serial.DropTraceMV[i] {
+				t.Fatalf("Parallel=%d drop trace diverges at cycle %d", workers, i)
+			}
+		}
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	_, aim, net := compileBoth(t, "resnet18")
 	opt := DefaultOptions(net.Transformer, vf.LowPower)

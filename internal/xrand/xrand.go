@@ -11,6 +11,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 )
 
 // RNG is a deterministic random source with distribution helpers.
@@ -30,6 +31,16 @@ func NewNamed(seed int64, name string) *RNG {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	return New(seed ^ int64(h.Sum64()))
+}
+
+// NewShard derives the shard'th stream of a named family. Shards of
+// the same family are mutually independent and independent of the
+// plain NewNamed stream, so a loop can be split across workers with
+// each index drawing from its own stream: results are then identical
+// whether the loop runs serially or sharded over a pool, which is the
+// determinism contract the parallel runner relies on.
+func NewShard(seed int64, name string, shard int) *RNG {
+	return NewNamed(seed, name+"#"+strconv.Itoa(shard))
 }
 
 // Split derives a child stream from this RNG by name without consuming

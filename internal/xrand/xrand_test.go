@@ -36,6 +36,31 @@ func TestNamedStreamReproducible(t *testing.T) {
 	}
 }
 
+func TestShardStreamsReproducibleAndIndependent(t *testing.T) {
+	a := NewShard(7, "waves", 3)
+	b := NewShard(7, "waves", 3)
+	if a.Int63() != b.Int63() {
+		t.Fatal("shard stream must be reproducible")
+	}
+	// Neighbouring shards and the family's plain named stream must all
+	// be mutually independent.
+	streams := []*RNG{NewShard(7, "waves", 0), NewShard(7, "waves", 1), NewNamed(7, "waves")}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			x, y := streams[i], streams[j]
+			same := 0
+			for k := 0; k < 64; k++ {
+				if x.Intn(1000) == y.Intn(1000) {
+					same++
+				}
+			}
+			if same > 16 {
+				t.Errorf("streams %d and %d look correlated: %d/64 equal draws", i, j, same)
+			}
+		}
+	}
+}
+
 func TestSplitReproducible(t *testing.T) {
 	a := New(3).Split("child")
 	b := New(3).Split("child")
