@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench lint ci
+.PHONY: all build vet fmt-check test race bench bench-rtog lint ci
 
 all: build
 
@@ -29,6 +29,22 @@ race:
 # benchmark harness wires up without paying full benchmark time.
 bench:
 	$(GO) test -bench=Fig3 -benchtime=1x -run '^$$' .
+
+# Perf trajectory: ns/op of the packed vs legacy Rtog hot path and the
+# end-to-end sim fidelity modes, rendered as BENCH_rtog.json — the
+# artifact CI uploads on every run so regressions show up as a series.
+# Each go test runs as its own command so a bench failure fails the
+# target (a single pipeline would return only awk's exit status).
+bench-rtog:
+	$(GO) test -run '^$$' -bench 'BenchmarkRtog' -benchtime 1000x ./internal/pim > BENCH_rtog.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Packed(Bytes|Parallel)?|Analytic)$$' -benchtime 2x ./internal/sim >> BENCH_rtog.txt
+	@awk 'BEGIN { printf "{\n  \"benchmarks\": [" ; first=1 } \
+	      /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+	        if (!first) printf ","; first=0; \
+	        printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $$2, $$3 } \
+	      END { printf "\n  ]\n}\n" }' BENCH_rtog.txt > BENCH_rtog.json
+	@rm -f BENCH_rtog.txt
+	@cat BENCH_rtog.json
 
 lint: vet fmt-check
 

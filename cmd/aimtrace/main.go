@@ -9,9 +9,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strings"
 
 	"aim/internal/core"
@@ -20,10 +22,23 @@ import (
 )
 
 func main() {
-	netName := flag.String("net", "resnet18", "workload: resnet18|mobilenetv2|yolov5|vit|llama3|gpt2")
-	mode := flag.String("mode", "low-power", "operating mode: sprint|low-power")
-	seed := flag.Int64("seed", 2025, "random seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes the CSV to
+// stdout and diagnostics to stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aimtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	netName := fs.String("net", "resnet18", "workload: resnet18|mobilenetv2|yolov5|vit|llama3|gpt2")
+	mode := fs.String("mode", "low-power", "operating mode: sprint|low-power")
+	seed := fs.Int64("seed", 2025, "random seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var m vf.Mode
 	switch strings.ToLower(*mode) {
@@ -32,11 +47,16 @@ func main() {
 	case "low-power", "lowpower":
 		m = vf.LowPower
 	default:
-		log.Fatalf("aimtrace: unknown mode %q", *mode)
+		fmt.Fprintf(stderr, "aimtrace: unknown mode %q\n", *mode)
+		return 2
 	}
-	net, err := model.ByName(*netName, 2025)
+	// The seed drives both model generation and the runtime pipeline;
+	// it must reach ByName, or -seed would silently leave the generated
+	// model pinned while only the simulation noise changed.
+	net, err := model.ByName(*netName, *seed)
 	if err != nil {
-		log.Fatalf("aimtrace: %v", err)
+		fmt.Fprintf(stderr, "aimtrace: %v\n", err)
+		return 1
 	}
 	p := core.NewPipeline(m)
 	p.Seed = *seed
@@ -47,12 +67,13 @@ func main() {
 	if len(after.DropTraceMV) < n {
 		n = len(after.DropTraceMV)
 	}
-	fmt.Println("cycle,drop_before_mV,drop_after_mV,current_before_A,current_after_A,bumpV_before,bumpV_after")
+	fmt.Fprintln(stdout, "cycle,drop_before_mV,drop_after_mV,current_before_A,current_after_A,bumpV_before,bumpV_after")
 	for i := 0; i < n; i++ {
-		fmt.Printf("%d,%.3f,%.3f,%.5f,%.5f,%.5f,%.5f\n",
+		fmt.Fprintf(stdout, "%d,%.3f,%.3f,%.5f,%.5f,%.5f,%.5f\n",
 			i,
 			before.DropTraceMV[i], after.DropTraceMV[i],
 			before.CurrentTrace[i], after.CurrentTrace[i],
 			before.VoltageTrace[i], after.VoltageTrace[i])
 	}
+	return 0
 }

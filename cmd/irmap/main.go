@@ -8,19 +8,39 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"aim/internal/pdn"
 	"aim/internal/xrand"
 )
 
 func main() {
-	csv := flag.Bool("csv", false, "emit CSV (mV) instead of ASCII art")
-	baseAct := flag.Float64("activity", 0.50, "baseline per-group peak Rtog (before AIM)")
-	optAct := flag.Float64("optimized", 0.26, "optimized per-group peak Rtog (after AIM)")
-	seed := flag.Int64("seed", 2025, "random seed for per-group activity variation")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes the heatmaps
+// to stdout and diagnostics to stderr, and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("irmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	csv := fs.Bool("csv", false, "emit CSV (mV) instead of ASCII art")
+	baseAct := fs.Float64("activity", 0.50, "baseline per-group peak Rtog (before AIM)")
+	optAct := fs.Float64("optimized", 0.26, "optimized per-group peak Rtog (after AIM)")
+	seed := fs.Int64("seed", 2025, "random seed for per-group activity variation")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *baseAct < 0 || *baseAct > 1 || *optAct < 0 || *optAct > 1 {
+		fmt.Fprintln(stderr, "irmap: -activity and -optimized must lie in [0,1]")
+		return 2
+	}
 
 	fp := pdn.DefaultFloorplan()
 	act := pdn.DefaultActivity()
@@ -34,19 +54,20 @@ func main() {
 			}
 		}
 		drop, worst := fp.SolveActivity(act, rt)
-		fmt.Printf("--- %s: worst macro drop %.1f mV ---\n", label, worst*1000)
+		fmt.Fprintf(stdout, "--- %s: worst macro drop %.1f mV ---\n", label, worst*1000)
 		if *csv {
-			fmt.Print(pdn.RenderCSV(drop, fp.Grid.W))
+			fmt.Fprint(stdout, pdn.RenderCSV(drop, fp.Grid.W))
 		} else {
 			hi := scaleHi
 			if hi == 0 {
 				hi = worst
 			}
-			fmt.Print(pdn.RenderASCII(drop, fp.Grid.W, 0, hi))
+			fmt.Fprint(stdout, pdn.RenderASCII(drop, fp.Grid.W, 0, hi))
 		}
 		return worst
 	}
 	worstBefore := render("before AIM", *baseAct, 0)
 	worstAfter := render("after AIM", *optAct, worstBefore)
-	fmt.Printf("mitigation: %.1f%%\n", 100*(1-worstAfter/worstBefore))
+	fmt.Fprintf(stdout, "mitigation: %.1f%%\n", 100*(1-worstAfter/worstBefore))
+	return 0
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"aim/internal/pdn"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagHandling(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"activity above 1", []string{"-activity", "1.5"}, 2},
+		{"negative optimized", []string{"-optimized", "-0.1"}, 2},
+		{"help", []string{"-h"}, 0},
+	}
+	for _, c := range cases {
+		code, _, stderr := runCapture(t, c.args...)
+		if code != c.code {
+			t.Errorf("%s: exit = %d, want %d (stderr %q)", c.name, code, c.code, stderr)
+		}
+		if c.code == 2 && stderr == "" {
+			t.Errorf("%s: expected diagnostics on stderr", c.name)
+		}
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	code, out, stderr := runCapture(t, "-csv", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	w, h := pdn.DefaultFloorplan().Grid.W, pdn.DefaultFloorplan().Grid.H
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Two heatmaps, each: one banner + H data rows; one mitigation line.
+	if want := 2*(1+h) + 1; len(lines) != want {
+		t.Fatalf("line count = %d, want %d", len(lines), want)
+	}
+	banners, dataRows := 0, 0
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "--- "):
+			banners++
+		case strings.HasPrefix(line, "mitigation: "):
+		default:
+			dataRows++
+			if cols := len(strings.Split(line, ",")); cols != w {
+				t.Fatalf("CSV row has %d columns, want %d: %q", cols, w, line)
+			}
+		}
+	}
+	if banners != 2 || dataRows != 2*h {
+		t.Fatalf("banners = %d, data rows = %d, want 2 and %d", banners, dataRows, 2*h)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(lines[len(lines)-1]), "%") {
+		t.Fatalf("missing mitigation summary: %q", lines[len(lines)-1])
+	}
+}
+
+func TestDeterministicAndSeedSensitive(t *testing.T) {
+	_, a1, _ := runCapture(t, "-csv", "-seed", "3")
+	_, a2, _ := runCapture(t, "-csv", "-seed", "3")
+	if a1 != a2 {
+		t.Fatal("same seed must reproduce identical maps")
+	}
+	_, b, _ := runCapture(t, "-csv", "-seed", "4")
+	if a1 == b {
+		t.Fatal("-seed must vary the per-group activity draws")
+	}
+}
+
+func TestASCIIMitigationPositive(t *testing.T) {
+	code, out, _ := runCapture(t, "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// The optimized map must mitigate: "mitigation: X%" with X > 0.
+	idx := strings.LastIndex(out, "mitigation: ")
+	if idx < 0 || strings.HasPrefix(out[idx:], "mitigation: -") {
+		t.Fatalf("expected positive mitigation, got %q", out[idx:])
+	}
+}

@@ -38,4 +38,16 @@
 // fixed seed the output is bit-identical for any worker count —
 // parallelism only changes wall-clock time (see Config.Parallel and
 // ExperimentSet.Parallel).
+//
+// The Eq. 1 data path is bit-packed end to end: input bit rows,
+// toggle vectors and stored weight-bit planes all live as []uint64
+// words (cell k at bit k%64 of word k/64), so a per-cycle Rtog is a
+// word-wise AND + popcount — on the default 64-bank × 128-cell macro,
+// ~20 word operations against the bit-sliced per-line Hamming counts
+// instead of a banks×cells byte walk (~500x on the macro Rtog cycle;
+// see BENCH_rtog.json from `make bench-rtog`). The packed path is
+// proven bit-identical to the retained one-byte-per-bit reference
+// implementations, and the toggle sources draw their RNG in cell
+// order, so fixed-seed outputs are unchanged across the packed
+// refactor.
 package aim

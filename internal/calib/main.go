@@ -1,26 +1,62 @@
 // Command calib prints Table-2-style HR reductions for the model zoo;
 // used to calibrate per-model distribution profiles against the paper.
+//
+// Usage:
+//
+//	calib [-seed N] [-net substring]
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"os"
+	"strings"
 
 	"aim/internal/model"
 )
 
 func main() {
-	fmt.Println("model        base(avg/max)  +LHR(avg/max)%  +WDS8%  +WDS16%")
-	for _, n := range model.All(2025) {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes the
+// calibration table to stdout, and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("calib", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 2025, "random seed for model generation")
+	filter := fs.String("net", "", "only calibrate models whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	matched := 0
+	fmt.Fprintln(stdout, "model        base(avg/max)  +LHR(avg/max)%  +WDS8%  +WDS16%")
+	for _, n := range model.All(*seed) {
+		if *filter != "" && !strings.Contains(n.Name, *filter) {
+			continue
+		}
+		matched++
 		b := model.NetworkHR(n, model.BaselineConfig())
 		l := model.NetworkHR(n, model.LHRConfig())
 		w8 := model.NetworkHR(n, model.WDSConfig(8))
 		w16 := model.NetworkHR(n, model.WDSConfig(16))
 		rel := func(x, y float64) float64 { return 100 * (x - y) / x }
-		fmt.Printf("%-12s %.3f/%.3f    %5.1f/%5.1f    %5.1f/%5.1f  %5.1f/%5.1f\n",
+		fmt.Fprintf(stdout, "%-12s %.3f/%.3f    %5.1f/%5.1f    %5.1f/%5.1f  %5.1f/%5.1f\n",
 			n.Name, b.Average, b.Max,
 			rel(b.Average, l.Average), rel(b.Max, l.Max),
 			rel(b.Average, w8.Average), rel(b.Max, w8.Max),
 			rel(b.Average, w16.Average), rel(b.Max, w16.Max))
 	}
-	fmt.Println("\npaper Table 2 targets (avg): resnet18 28/39/45.6  mobilenet 29/30.6/33.6  yolov5 23/31.5/38.6  vit 25.9/31.9/35.6  llama3 25.9/30.7/36.3  gpt2 30.7/38/41.5")
+	if matched == 0 {
+		fmt.Fprintf(stderr, "calib: no model matches -net %q\n", *filter)
+		return 1
+	}
+	fmt.Fprintln(stdout, "\npaper Table 2 targets (avg): resnet18 28/39/45.6  mobilenet 29/30.6/33.6  yolov5 23/31.5/38.6  vit 25.9/31.9/35.6  llama3 25.9/30.7/36.3  gpt2 30.7/38/41.5")
+	return 0
 }

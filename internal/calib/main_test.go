@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagHandling(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"no model match", []string{"-net", "nosuchnet"}, 1},
+		{"help", []string{"-h"}, 0},
+	}
+	for _, c := range cases {
+		code, _, stderr := runCapture(t, c.args...)
+		if code != c.code {
+			t.Errorf("%s: exit = %d, want %d (stderr %q)", c.name, code, c.code, stderr)
+		}
+		if c.code != 0 && stderr == "" {
+			t.Errorf("%s: expected diagnostics on stderr", c.name)
+		}
+	}
+}
+
+// TestTableShape checks one model's calibration row: header, paper
+// targets footer, and HR reductions that are positive and ordered
+// (LHR < +WDS8 < +WDS16, the monotone ladder of Table 2).
+func TestTableShape(t *testing.T) {
+	code, out, stderr := runCapture(t, "-net", "resnet18")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "model ") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "paper Table 2 targets") {
+		t.Fatalf("missing paper targets footer: %q", lines[len(lines)-1])
+	}
+	var row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "resnet18") {
+			row = l
+		}
+	}
+	if row == "" {
+		t.Fatalf("no resnet18 row in:\n%s", out)
+	}
+	// The %5.1f widths can pad after the slash; collapse that so each
+	// avg/max pair is one field.
+	f := strings.Fields(strings.ReplaceAll(row, "/ ", "/"))
+	// name, base avg/max, then three avg/max reduction pairs.
+	if len(f) != 5 {
+		t.Fatalf("row fields = %d (%q), want 5", len(f), row)
+	}
+	parse := func(pair string) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(strings.Split(pair, "/")[0], 64)
+		if err != nil {
+			t.Fatalf("bad pair %q: %v", pair, err)
+		}
+		return v
+	}
+	lhr, w8, w16 := parse(f[2]), parse(f[3]), parse(f[4])
+	if !(0 < lhr && lhr < w8 && w8 < w16) {
+		t.Errorf("HR reductions not a monotone ladder: LHR %.1f, WDS8 %.1f, WDS16 %.1f", lhr, w8, w16)
+	}
+}
+
+func TestSeedSensitive(t *testing.T) {
+	_, a, _ := runCapture(t, "-net", "resnet18", "-seed", "1")
+	_, b, _ := runCapture(t, "-net", "resnet18", "-seed", "1")
+	if a != b {
+		t.Fatal("same seed must reproduce the same table")
+	}
+}

@@ -515,7 +515,10 @@ func adderTreeActivity(c *compiler.Compiled, seed int64) float64 {
 	}
 	rng := xrand.NewNamed(seed, "fig22/addertree/"+c.Net.Name)
 	acts := stream.GenerateActivations(stream.DefaultActivations(stream.TokenActs), len(codes), 40, rng)
-	bs := stream.NewBitSerial(acts, 8)
+	bs, err := stream.NewBitSerial(acts, 8)
+	if err != nil {
+		panic(err)
+	}
 	tree := pim.NewAdderTree(len(codes), 24)
 	// Bit-serial reduction: each cycle the tree sums the weights gated
 	// by that cycle's input bits (Fig. 1b), so register toggles track

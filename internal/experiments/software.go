@@ -142,7 +142,10 @@ func Fig5(seed int64) *Table {
 				macro := pim.NewMacro(cfg, codes)
 				rng := xrand.NewNamed(seed, "fig5/"+c.layerName+label)
 				vectors := cycles/8 + 1
-				src := stream.WorkloadToggles(c.acts, cfg.CellsPerBank, vectors, rng)
+				src, err := stream.WorkloadToggles(c.acts, cfg.CellsPerBank, vectors, rng)
+				if err != nil {
+					panic(err)
+				}
 				trace := macro.RtogTrace(src, cycles)
 				sorted := sortedCopy(trace)
 				p99 := sorted[len(sorted)*99/100]

@@ -1,0 +1,65 @@
+package pim
+
+import (
+	"testing"
+
+	"aim/internal/stream"
+	"aim/internal/xrand"
+)
+
+// benchToggles builds a default-geometry macro (64 banks × 128 cells)
+// and a ~50%-density toggle vector, in both layouts.
+func benchToggles(b *testing.B) (*Macro, []uint64, []uint8) {
+	b.Helper()
+	cfg := DefaultConfig()
+	m := NewMacro(cfg, randCodes(1, cfg.WeightsPerMacro()))
+	g := xrand.New(2)
+	bytes := make([]uint8, cfg.CellsPerBank)
+	for i := range bytes {
+		if g.Bernoulli(0.5) {
+			bytes[i] = 1
+		}
+	}
+	return m, stream.Pack(bytes), bytes
+}
+
+// BenchmarkRtogPacked measures the packed word-wise Eq. 1 evaluation
+// (bit-sliced Hamming planes, AND + popcount) on a full default macro.
+// Compare against BenchmarkRtogLegacy; the acceptance bar is ≥3x.
+func BenchmarkRtogPacked(b *testing.B) {
+	m, words, _ := benchToggles(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.RtogCycle(words)
+	}
+	_ = sink
+}
+
+// BenchmarkRtogLegacy measures the historical one-byte-per-bit walk
+// over banks × cells — the pre-refactor hot loop, retained as the
+// reference implementation.
+func BenchmarkRtogLegacy(b *testing.B) {
+	m, _, bytes := benchToggles(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.RtogCycleBytes(bytes)
+	}
+	_ = sink
+}
+
+// BenchmarkRtogTracePacked measures the full trace loop (toggle
+// generation + packed Rtog) the Fig. 4/5 experiments run per macro.
+func BenchmarkRtogTracePacked(b *testing.B) {
+	cfg := DefaultConfig()
+	m := NewMacro(cfg, randCodes(1, cfg.WeightsPerMacro()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := stream.NewBernoulli(cfg.CellsPerBank, 100, 0.5, 0.1, xrand.New(3))
+		if len(m.RtogTrace(src, 0)) != 100 {
+			b.Fatal("short trace")
+		}
+	}
+}

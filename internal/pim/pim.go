@@ -9,6 +9,7 @@ package pim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"aim/internal/fxp"
 	"aim/internal/stream"
@@ -72,11 +73,19 @@ func (c Config) Validate() error {
 
 // Bank is one SRAM bank: CellsPerBank stored weights engaged in
 // bit-wise multiplication with the shared bit-serial input lines.
+//
+// Besides the integer weight codes, the bank keeps its storage in the
+// packed form Eq. 1 consumes: one weight-bit plane per bit position,
+// with cell k at bit k%64 of word k/64 — so the per-cycle Rtog
+// numerator is a word-wise AND + popcount over the planes.
 type Bank struct {
 	weights []int32
 	hams    []int // cached per-cell Hamming weights
-	bits    int
-	hm      int
+	// planes[i] is the packed mask of bit i across cells: bit k of the
+	// word-split vector is fxp.Bit(weights[k], i, bits).
+	planes [][]uint64
+	bits   int
+	hm     int
 }
 
 // NewBank stores the given weight codes (length ≤ cells; the rest of
@@ -87,13 +96,28 @@ func NewBank(codes []int32, cells, bits int) *Bank {
 	}
 	b := &Bank{weights: make([]int32, cells), hams: make([]int, cells), bits: bits}
 	copy(b.weights, codes)
-	for i, w := range b.weights {
+	b.planes = make([][]uint64, bits)
+	for i := range b.planes {
+		b.planes[i] = make([]uint64, stream.Words(cells))
+	}
+	for k, w := range b.weights {
 		h := fxp.Hamming(w, bits)
-		b.hams[i] = h
+		b.hams[k] = h
 		b.hm += h
+		code := fxp.Code(w, bits)
+		for i := 0; i < bits; i++ {
+			if code>>uint(i)&1 != 0 {
+				b.planes[i][k/64] |= 1 << uint(k%64)
+			}
+		}
 	}
 	return b
 }
+
+// BitPlane returns the packed weight mask of bit position i (cell k at
+// bit k%64 of word k/64). The slice is shared; callers must not modify
+// it.
+func (b *Bank) BitPlane(i int) []uint64 { return b.planes[i] }
 
 // Cells returns the bank size.
 func (b *Bank) Cells() int { return len(b.weights) }
@@ -109,8 +133,35 @@ func (b *Bank) HR() float64 {
 // RtogCycle evaluates Eq. 1 for one cycle: the fraction of stored
 // weight bits ANDed with a toggling input line,
 //
-//	Rtog = Σ_k Hamming(W_k)·toggle_k / (n·q).
-func (b *Bank) RtogCycle(toggles []uint8) float64 {
+//	Rtog = Σ_k Hamming(W_k)·toggle_k / (n·q),
+//
+// computed word-wise: the numerator is Σ_i popcount(plane_i AND T)
+// over the packed weight-bit planes. toggles holds the packed toggle
+// indicators (length stream.Words(Cells())).
+func (b *Bank) RtogCycle(toggles []uint64) float64 {
+	return float64(b.RtogCounts(toggles)) / float64(len(b.weights)*b.bits)
+}
+
+// RtogCounts returns the integer Eq. 1 numerator for one cycle: the
+// number of stored weight bits whose input line toggles. The Rtog
+// denominator is Cells()·weight bits.
+func (b *Bank) RtogCounts(toggles []uint64) int {
+	if len(toggles) != stream.Words(len(b.weights)) {
+		panic("pim: packed toggle width != bank cells")
+	}
+	sum := 0
+	for _, plane := range b.planes {
+		for w, m := range plane {
+			sum += bits.OnesCount64(m & toggles[w])
+		}
+	}
+	return sum
+}
+
+// RtogCycleBytes is the legacy one-byte-per-bit Rtog evaluation. It is
+// retained as the scalar reference implementation: equivalence tests
+// and benchmarks compare the packed word-wise path against it.
+func (b *Bank) RtogCycleBytes(toggles []uint8) float64 {
 	if len(toggles) != len(b.weights) {
 		panic("pim: toggle width != bank cells")
 	}
@@ -159,11 +210,21 @@ func (b *Bank) DotDirect(input []int32) int64 {
 
 // Macro is a PIM macro: banks sharing the same bit-serial input lines
 // (§5.4.2: "All banks within a Macro share the same input streams").
+//
+// Because every bank sees the same toggle vector T, the macro's Eq. 1
+// numerator collapses to Σ_k H(k)·T_k where H(k) is the total Hamming
+// weight stored on input line k across all banks. The macro keeps H in
+// bit-sliced packed form (hamPlanes[j] holds bit j of H(k) at packed
+// position k), so one cycle costs ⌈log2(max H)+1⌉ AND+popcount passes
+// over ⌈cells/64⌉ words instead of a banks×cells byte walk.
 type Macro struct {
 	cfg   Config
 	banks []*Bank
 	hm    int
 	cells int
+	// hamPlanes is the bit-sliced per-line total Hamming weight:
+	// Σ_k H(k)·T_k = Σ_j 2^j · popcount(hamPlanes[j] AND T).
+	hamPlanes [][]uint64
 }
 
 // NewMacro loads weight codes into a macro, filling banks in order;
@@ -193,6 +254,27 @@ func NewMacro(cfg Config, codes []int32) *Macro {
 		m.hm += bank.hm
 		m.cells += bank.Cells()
 	}
+	// Bit-slice the per-line total Hamming weights across banks.
+	lineHams := make([]int, cfg.CellsPerBank)
+	maxHam := 0
+	for _, b := range m.banks {
+		for k, h := range b.hams {
+			lineHams[k] += h
+			if lineHams[k] > maxHam {
+				maxHam = lineHams[k]
+			}
+		}
+	}
+	m.hamPlanes = make([][]uint64, bits.Len(uint(maxHam)))
+	for j := range m.hamPlanes {
+		plane := make([]uint64, stream.Words(cfg.CellsPerBank))
+		for k, h := range lineHams {
+			if h>>uint(j)&1 != 0 {
+				plane[k/64] |= 1 << uint(k%64)
+			}
+		}
+		m.hamPlanes[j] = plane
+	}
 	return m
 }
 
@@ -212,8 +294,29 @@ func (m *Macro) HR() float64 {
 }
 
 // RtogCycle returns the macro-average Rtog for one cycle; toggles are
-// the shared input-line toggles (length CellsPerBank).
-func (m *Macro) RtogCycle(toggles []uint8) float64 {
+// the packed shared input-line toggles (stream.Words(CellsPerBank)
+// words). The sum runs over the bit-sliced Hamming planes, so a
+// default-geometry macro (64 banks × 128 cells) costs ~20 AND+popcount
+// word operations instead of an 8192-step byte walk.
+func (m *Macro) RtogCycle(toggles []uint64) float64 {
+	if len(toggles) != stream.Words(m.cfg.CellsPerBank) {
+		panic("pim: packed toggle width != cells per bank")
+	}
+	sum := 0
+	for j, plane := range m.hamPlanes {
+		c := 0
+		for w, mask := range plane {
+			c += bits.OnesCount64(mask & toggles[w])
+		}
+		sum += c << uint(j)
+	}
+	return float64(sum) / float64(m.cells*m.cfg.WeightBits)
+}
+
+// RtogCycleBytes is the legacy one-byte-per-bit macro Rtog walk,
+// retained as the scalar reference implementation for equivalence
+// tests and benchmarks.
+func (m *Macro) RtogCycleBytes(toggles []uint8) float64 {
 	sum := 0
 	for _, b := range m.banks {
 		for k, tg := range toggles {
@@ -231,7 +334,7 @@ func (m *Macro) RtogTrace(src stream.ToggleSource, maxCycles int) []float64 {
 	if src.Cells() != m.cfg.CellsPerBank {
 		panic("pim: toggle source width != cells per bank")
 	}
-	dst := make([]uint8, src.Cells())
+	dst := make([]uint64, stream.Words(src.Cells()))
 	var out []float64
 	for src.NextToggles(dst) {
 		out = append(out, m.RtogCycle(dst))

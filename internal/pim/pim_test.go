@@ -64,14 +64,14 @@ func TestBankPartialFillHoldsZeros(t *testing.T) {
 func TestRtogCycleWorstCaseEqualsHR(t *testing.T) {
 	codes := randCodes(3, 128)
 	b := NewBank(codes, 128, 8)
-	all := make([]uint8, 128)
+	all := make([]uint64, stream.Words(128))
 	for i := range all {
-		all[i] = 1
+		all[i] = ^uint64(0)
 	}
 	if got, want := b.RtogCycle(all), b.HR(); math.Abs(got-want) > 1e-12 {
 		t.Errorf("worst-case Rtog = %v, want HR %v", got, want)
 	}
-	none := make([]uint8, 128)
+	none := make([]uint64, stream.Words(128))
 	if got := b.RtogCycle(none); got != 0 {
 		t.Errorf("no-toggle Rtog = %v, want 0", got)
 	}
@@ -85,7 +85,7 @@ func TestRtogNeverExceedsHRProperty(t *testing.T) {
 		b := NewBank(codes, 64, 8)
 		hr := b.HR()
 		src := stream.NewBernoulli(64, 50, 0.5, 0.3, g)
-		dst := make([]uint8, 64)
+		dst := make([]uint64, stream.Words(64))
 		for src.NextToggles(dst) {
 			if b.RtogCycle(dst) > hr+1e-12 {
 				return false
@@ -95,6 +95,75 @@ func TestRtogNeverExceedsHRProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBankRtogPackedMatchesBytes proves the word-wise AND+popcount
+// path is bit-identical to the legacy byte walk for arbitrary weights
+// and toggle vectors, including ragged (non-multiple-of-64) widths and
+// partially filled banks.
+func TestBankRtogPackedMatchesBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		g := xrand.New(seed)
+		cells := 33 + int(g.Intn(160))
+		loaded := int(g.Intn(cells + 1))
+		b := NewBank(randCodes(seed, loaded), cells, 8)
+		src := stream.NewBernoulli(cells, 10, 0.5, 0.3, g)
+		dst := make([]uint64, stream.Words(cells))
+		for src.NextToggles(dst) {
+			packed := b.RtogCycle(dst)
+			legacy := b.RtogCycleBytes(stream.Unpack(dst, cells))
+			if packed != legacy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMacroRtogPackedMatchesBytes: the macro's bit-sliced Hamming
+// planes produce the exact same float64 Rtog series as the legacy
+// per-bank byte walk — the equivalence guarantee of the packed
+// refactor.
+func TestMacroRtogPackedMatchesBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		g := xrand.New(seed)
+		cfg := Config{Kind: DPIM, Groups: 1, MacrosPerGroup: 1, BanksPerMacro: 1 + int(g.Intn(8)), CellsPerBank: 65 + int(g.Intn(80)), WeightBits: 8}
+		loaded := int(g.Intn(cfg.WeightsPerMacro() + 1))
+		m := NewMacro(cfg, randCodes(seed, loaded))
+		src := stream.NewBernoulli(cfg.CellsPerBank, 10, 0.5, 0.3, g)
+		dst := make([]uint64, stream.Words(cfg.CellsPerBank))
+		for src.NextToggles(dst) {
+			if m.RtogCycle(dst) != m.RtogCycleBytes(stream.Unpack(dst, cfg.CellsPerBank)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBankBitPlanes: plane i bit k mirrors fxp.Bit(weight k, i).
+func TestBankBitPlanes(t *testing.T) {
+	codes := randCodes(9, 70)
+	b := NewBank(codes, 70, 8)
+	for i := 0; i < 8; i++ {
+		plane := stream.Unpack(b.BitPlane(i), 70)
+		for k, w := range codes {
+			if want := uint8(fxp.Bit(w, i, 8)); plane[k] != want {
+				t.Fatalf("plane %d cell %d = %d, want %d", i, k, plane[k], want)
+			}
+		}
+		for k := len(codes); k < 70; k++ {
+			if plane[k] != 0 {
+				t.Fatalf("plane %d unloaded cell %d must be 0", i, k)
+			}
+		}
 	}
 }
 

@@ -44,6 +44,15 @@ type Options struct {
 	// own xrand shard stream, so the result is bit-identical for any
 	// worker count — parallelism is purely a wall-clock knob.
 	Parallel int
+	// Fidelity selects the per-cycle activity engine: AnalyticToggles
+	// (default, rtog = flip-intensity × HR) or PackedToggles (the
+	// word-wise Eq. 1 engine over synthetic packed weight banks).
+	Fidelity ToggleFidelity
+	// bytesReference forces the PackedToggles engine onto the legacy
+	// one-byte-per-bit scalar path. Equivalence tests use it to prove
+	// the packed word-wise pipeline bit-identical; it is not a user
+	// knob.
+	bytesReference bool
 }
 
 // DefaultOptions returns the reference configuration for a workload

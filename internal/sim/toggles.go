@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"aim/internal/irdrop"
+	"aim/internal/pim"
+	"aim/internal/stream"
+	"aim/internal/xrand"
+)
+
+// ToggleFidelity selects how the wave loop produces per-cycle macro
+// activity (Rtog).
+type ToggleFidelity int
+
+const (
+	// AnalyticToggles models each task's Rtog as flip-intensity × HR —
+	// the fast closed-form default, bit-identical to the historical
+	// simulator.
+	AnalyticToggles ToggleFidelity = iota
+	// PackedToggles runs the microarchitectural Eq. 1 engine instead:
+	// every occupied task gets a synthetic weight bank at its HR, each
+	// group draws packed Bernoulli toggles on its shared input lines,
+	// and Rtog is the word-wise AND+popcount of toggles against the
+	// stored bit planes. E[Rtog] still equals flip-intensity × HR, but
+	// the per-cycle value carries the real binomial cell-level
+	// variance the analytic model averages away.
+	PackedToggles
+)
+
+// groupToggles is one macro group's PackedToggles engine: the shared
+// packed input-line toggles plus a synthetic bank per occupied task.
+// With bytes non-nil it runs the legacy one-byte-per-bit reference
+// path instead — drawing the identical RNG sequence — which is how the
+// equivalence tests prove the packed pipeline bit-identical.
+type groupToggles struct {
+	banks     []*pim.Bank // parallel to groupRun.occupied
+	words     []uint64
+	bytes     []uint8
+	cells     int
+	totalBits int
+	worstRtog float64
+	worstOnes int
+}
+
+// newGroupToggles builds one synthetic CellsPerBank-cell bank per
+// occupied task, with every stored weight bit drawn Bernoulli(HR) so
+// the bank's Hamming rate matches the task's HR in expectation — the
+// microarchitectural analogue of the analytic rtog = p·HR model.
+func newGroupToggles(cfg pim.Config, taskHRs []float64, rng *xrand.RNG, useBytes bool) *groupToggles {
+	n, q := cfg.CellsPerBank, cfg.WeightBits
+	gt := &groupToggles{
+		cells:     n,
+		totalBits: n * q,
+		words:     make([]uint64, stream.Words(n)),
+	}
+	if useBytes {
+		gt.bytes = make([]uint8, n)
+	}
+	for _, hr := range taskHRs {
+		codes := make([]int32, n)
+		for k := range codes {
+			var code uint32
+			for i := 0; i < q; i++ {
+				if rng.Bernoulli(hr) {
+					code |= 1 << uint(i)
+				}
+			}
+			codes[k] = valueOfCode(code, q)
+		}
+		gt.banks = append(gt.banks, pim.NewBank(codes, n, q))
+	}
+	return gt
+}
+
+// valueOfCode inverts fxp.Code: the signed value whose q-bit two's
+// complement code is the given bit pattern.
+func valueOfCode(code uint32, q int) int32 {
+	if code>>uint(q-1)&1 != 0 {
+		return int32(code) - int32(1)<<uint(q)
+	}
+	return int32(code)
+}
+
+// next draws the group's shared input-line toggles for one cycle at
+// flip intensity p and resets the cycle's worst-task accounting. The
+// per-cell draws happen in cell order on both paths, so packed and
+// byte-reference runs consume the same RNG stream.
+func (gt *groupToggles) next(p float64, rng *xrand.RNG) {
+	stream.FillBernoulli(gt.words, gt.cells, p, rng)
+	if gt.bytes != nil {
+		for k := range gt.bytes {
+			gt.bytes[k] = uint8(gt.words[k/64] >> uint(k%64) & 1)
+		}
+	}
+	gt.worstRtog = 0
+	gt.worstOnes = 0
+}
+
+// rtog returns occupied-task i's Rtog against this cycle's shared
+// toggles, tracking the group's worst task for the drop estimate.
+func (gt *groupToggles) rtog(i int) float64 {
+	if gt.bytes != nil {
+		r := gt.banks[i].RtogCycleBytes(gt.bytes)
+		if r > gt.worstRtog {
+			gt.worstRtog = r
+		}
+		return r
+	}
+	ones := gt.banks[i].RtogCounts(gt.words)
+	if ones > gt.worstOnes {
+		gt.worstOnes = ones
+	}
+	return float64(ones) / float64(gt.totalBits)
+}
+
+// drop returns the cycle's deterministic Eq. 2 group drop. The packed
+// path hands the raw popcount straight to the drop model
+// (irdrop.EstimateCounts); the byte reference goes through the
+// pre-divided Rtog — the two are bit-identical.
+func (gt *groupToggles) drop(m irdrop.Model) float64 {
+	if gt.bytes != nil {
+		return m.Estimate(gt.worstRtog)
+	}
+	return m.EstimateCounts(gt.worstOnes, gt.totalBits)
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"aim/internal/compiler"
+	"aim/internal/fxp"
+	"aim/internal/model"
+	"aim/internal/pim"
+	"aim/internal/vf"
+	"aim/internal/xrand"
+)
+
+func TestValueOfCodeInvertsFxpCode(t *testing.T) {
+	for _, q := range []int{4, 8} {
+		for code := uint32(0); code < 1<<uint(q); code++ {
+			v := valueOfCode(code, q)
+			if got := fxp.Code(v, q); got != code {
+				t.Fatalf("q=%d: Code(valueOfCode(%#x)) = %#x", q, code, got)
+			}
+		}
+	}
+}
+
+func TestGroupTogglesHRMatchesTask(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	rng := xrand.New(1)
+	hrs := []float64{0.25, 0.5}
+	gt := newGroupToggles(cfg, hrs, rng, false)
+	if len(gt.banks) != 2 {
+		t.Fatalf("banks = %d", len(gt.banks))
+	}
+	for i, want := range hrs {
+		got := gt.banks[i].HR()
+		// 1024 stored bits per bank: the sample HR concentrates near
+		// the task HR.
+		if got < want-0.06 || got > want+0.06 {
+			t.Errorf("bank %d HR = %.3f, want ~%.2f", i, got, want)
+		}
+	}
+}
+
+// TestPackedFidelityMatchesBytesReference is the simulator-level
+// equivalence guarantee: a full PackedToggles run over the word-wise
+// engine produces the exact same Result — every drop, power, TOPS and
+// trace float — as the legacy one-byte-per-bit reference path, for
+// fixed seeds.
+func TestPackedFidelityMatchesBytesReference(t *testing.T) {
+	_, aim, net := compileBoth(t, "resnet18")
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Seed = seed
+	opt.CyclesPerWave = 120
+	opt.Fidelity = PackedToggles
+	packed := Run(aim, pim.DefaultConfig(), opt)
+
+	opt.bytesReference = true
+	bytes := Run(aim, pim.DefaultConfig(), opt)
+
+	if !reflect.DeepEqual(packed, bytes) {
+		t.Errorf("packed fidelity diverged from byte reference:\npacked: %+v\nbytes:  %+v", packed, bytes)
+	}
+}
+
+// TestPackedFidelityParallelMatchesSerial extends PR 1's determinism
+// guarantee to the packed engine: wave sharding must not change a bit.
+func TestPackedFidelityParallelMatchesSerial(t *testing.T) {
+	_, aim, net := compileBoth(t, "resnet18")
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Seed = seed
+	opt.CyclesPerWave = 120
+	opt.Fidelity = PackedToggles
+	opt.Parallel = 1
+	serial := Run(aim, pim.DefaultConfig(), opt)
+	opt.Parallel = 0
+	parallel := Run(aim, pim.DefaultConfig(), opt)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("packed fidelity not shard-deterministic:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestPackedFidelityPlausible: the microarchitectural engine must tell
+// the same qualitative story as the analytic model — drops in the same
+// band, mitigation positive.
+func TestPackedFidelityPlausible(t *testing.T) {
+	_, aim, net := compileBoth(t, "resnet18")
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Seed = seed
+	analytic := Run(aim, pim.DefaultConfig(), opt)
+	opt.Fidelity = PackedToggles
+	packed := Run(aim, pim.DefaultConfig(), opt)
+	if packed.WorstDropMV <= 0 || packed.Mitigation <= 0 {
+		t.Fatalf("packed run implausible: %+v", packed)
+	}
+	// Same model, same workload: the two engines agree within the
+	// binomial cell-level variance the packed engine adds (~±35%).
+	lo, hi := analytic.AvgDropMV*0.65, analytic.AvgDropMV*1.35
+	if packed.AvgDropMV < lo || packed.AvgDropMV > hi {
+		t.Errorf("packed AvgDrop %.2f mV far from analytic %.2f mV", packed.AvgDropMV, analytic.AvgDropMV)
+	}
+}
+
+func benchSimFidelity(b *testing.B, fidelity ToggleFidelity, bytesRef bool, parallel int) {
+	net, err := model.ByName("resnet18", seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	copt := compiler.DefaultOptions()
+	copt.Strategy = compiler.SequentialMap
+	c := compiler.Compile(net, pim.DefaultConfig(), copt)
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Seed = seed
+	opt.Fidelity = fidelity
+	opt.bytesReference = bytesRef
+	opt.Parallel = parallel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(c, pim.DefaultConfig(), opt)
+		if res.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkSimPacked measures an end-to-end PackedToggles run of the
+// word-wise per-cycle pipeline, serial (Parallel=1) for the single-core
+// number. Compare BenchmarkSimPackedBytes (the legacy byte walk) for
+// the packed speedup, and BenchmarkSimPackedParallel for how it
+// compounds with wave sharding.
+func BenchmarkSimPacked(b *testing.B) { benchSimFidelity(b, PackedToggles, false, 1) }
+
+// BenchmarkSimPackedBytes is the same run on the retained
+// one-byte-per-bit reference engine.
+func BenchmarkSimPackedBytes(b *testing.B) { benchSimFidelity(b, PackedToggles, true, 1) }
+
+// BenchmarkSimPackedParallel is the packed engine with one wave-shard
+// worker per CPU.
+func BenchmarkSimPackedParallel(b *testing.B) { benchSimFidelity(b, PackedToggles, false, 0) }
+
+// BenchmarkSimAnalytic is the closed-form default engine, for scale.
+func BenchmarkSimAnalytic(b *testing.B) { benchSimFidelity(b, AnalyticToggles, false, 1) }

@@ -93,6 +93,25 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 		}
 	}
 
+	// PackedToggles fidelity: build each occupied group's synthetic
+	// packed-bank engine. Construction draws from the wave RNG in group
+	// then occupied-task order, so results stay deterministic under
+	// wave sharding.
+	var engines []*groupToggles
+	if opt.Fidelity == PackedToggles {
+		engines = make([]*groupToggles, cfg.Groups)
+		for g, gr := range groups {
+			if gr == nil {
+				continue
+			}
+			taskHRs := make([]float64, len(gr.occupied))
+			for i, ti := range gr.occupied {
+				taskHRs[i] = tasks[ti].HR
+			}
+			engines[g] = newGroupToggles(cfg, taskHRs, rng, opt.bytesReference)
+		}
+	}
+
 	var res waveResult
 	if trace {
 		res.dropTrace = make([]float64, 0, opt.CyclesPerWave)
@@ -123,17 +142,27 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 				continue
 			}
 			// Per-macro activity: stalled ops idle (leakage only).
+			var eng *groupToggles
+			if engines != nil {
+				eng = engines[g]
+				eng.next(p, rng)
+			}
 			worstRtog := 0.0
 			groupPower := 0.0
 			activeAny := false
-			for _, ti := range gr.occupied {
+			for oi, ti := range gr.occupied {
 				op := tasks[ti].OpID
 				if opStall[op] > 0 {
 					groupPower += power.MacroPowerMW(gr.pair, 0) // bubble: leakage only
 					continue
 				}
 				activeAny = true
-				rtog := p * tasks[ti].HR
+				var rtog float64
+				if eng != nil {
+					rtog = eng.rtog(oi)
+				} else {
+					rtog = p * tasks[ti].HR
+				}
 				if rtog > worstRtog {
 					worstRtog = rtog
 				}
@@ -141,8 +170,16 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 			}
 			// The deterministic Eq. 2 drop feeds the reported metrics;
 			// the monitor additionally sees cycle noise.
-			drop := m.Estimate(worstRtog)
-			dropNoisy := m.EstimateNoisy(worstRtog, rng)
+			var drop float64
+			if eng != nil {
+				drop = eng.drop(m)
+			} else {
+				drop = m.Estimate(worstRtog)
+			}
+			dropNoisy := drop + rng.Normal(0, m.NoiseMV)
+			if dropNoisy < 0 {
+				dropNoisy = 0
+			}
 			if drop > cycleWorstDrop {
 				cycleWorstDrop = drop
 			}

@@ -80,9 +80,15 @@ func GenerateActivations(cfg ActivationConfig, n, vectors int, rng *xrand.RNG) [
 }
 
 // WorkloadToggles builds a ready-to-run ToggleSource for a workload
-// class: synthetic activations serialized bit-serially.
-func WorkloadToggles(kind ActivationKind, n, vectors int, rng *xrand.RNG) ToggleSource {
+// class: synthetic activations serialized bit-serially. It fails (like
+// NewBitSerial) when the requested shape is degenerate, e.g. zero
+// vectors or zero cells.
+func WorkloadToggles(kind ActivationKind, n, vectors int, rng *xrand.RNG) (ToggleSource, error) {
 	cfg := DefaultActivations(kind)
 	acts := GenerateActivations(cfg, n, vectors, rng)
-	return NewBitSerial(acts, cfg.Bits).ToggleStream()
+	bs, err := NewBitSerial(acts, cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	return bs.ToggleStream(), nil
 }
