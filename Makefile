@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-rtog lint ci
+.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn lint ci
 
 all: build
 
@@ -30,21 +30,53 @@ race:
 bench:
 	$(GO) test -bench=Fig3 -benchtime=1x -run '^$$' .
 
+# bench_json distils `go test -bench -count N` output into a JSON
+# series, keeping the FASTEST run per benchmark (min-of-N): single
+# shots on a shared box swing several percent, and a perf trajectory
+# wants the machine's capability, not its load spikes. The original
+# ns/op string is preserved verbatim.
+define bench_json
+awk 'BEGIN { n = 0 } \
+     /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+       if (!(name in best) || $$3+0 < best[name]) { best[name]=$$3+0; ns[name]=$$3; iters[name]=$$2 } \
+       if (!(name in seen)) { seen[name]=1; order[++n]=name } } \
+     END { printf "{\n  \"benchmarks\": ["; \
+       for (i=1;i<=n;i++) { nm=order[i]; if (i>1) printf ","; \
+         printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", nm, iters[nm], ns[nm] } \
+       printf "\n  ]\n}\n" }'
+endef
+
 # Perf trajectory: ns/op of the packed vs legacy Rtog hot path and the
 # end-to-end sim fidelity modes, rendered as BENCH_rtog.json — the
 # artifact CI uploads on every run so regressions show up as a series.
-# Each go test runs as its own command so a bench failure fails the
-# target (a single pipeline would return only awk's exit status).
+# Three full passes, interleaved by invocation rather than go test's
+# -count (which repeats each benchmark consecutively and lets slow
+# machine drift bias whichever name runs later); the shell loop exits
+# on the first bench failure.
 bench-rtog:
-	$(GO) test -run '^$$' -bench 'BenchmarkRtog' -benchtime 1000x ./internal/pim > BENCH_rtog.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkSim(Packed(Bytes|Parallel)?|Analytic)$$' -benchtime 2x ./internal/sim >> BENCH_rtog.txt
-	@awk 'BEGIN { printf "{\n  \"benchmarks\": [" ; first=1 } \
-	      /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
-	        if (!first) printf ","; first=0; \
-	        printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $$2, $$3 } \
-	      END { printf "\n  ]\n}\n" }' BENCH_rtog.txt > BENCH_rtog.json
+	@rm -f BENCH_rtog.txt
+	for i in 1 2 3; do \
+		$(GO) test -run '^$$' -bench 'BenchmarkRtog' -benchtime 1000x ./internal/pim >> BENCH_rtog.txt || exit 1; \
+		$(GO) test -run '^$$' -bench 'BenchmarkSim(Packed(Bytes|Parallel)?|Analytic)$$' -benchtime 5x ./internal/sim >> BENCH_rtog.txt || exit 1; \
+	done
+	@$(bench_json) BENCH_rtog.txt > BENCH_rtog.json
 	@rm -f BENCH_rtog.txt
 	@cat BENCH_rtog.json
+
+# PDN solver trajectory: the retained Gauss-Seidel reference vs the
+# multigrid V-cycle on the 64x64 sign-off solve, the warm-start sweep
+# pattern, and the production die scales up to 512x512 — emitted as
+# BENCH_pdn.json next to BENCH_rtog.json. The acceptance bars:
+# BenchmarkPDNMultigrid at least 10x under BenchmarkPDNGaussSeidel,
+# and BenchmarkPDNMultigrid512 under BenchmarkPDNGaussSeidel.
+bench-pdn:
+	@rm -f BENCH_pdn.txt
+	for i in 1 2 3; do \
+		$(GO) test -run '^$$' -bench 'BenchmarkPDN' -benchtime 10x ./internal/pdn >> BENCH_pdn.txt || exit 1; \
+	done
+	@$(bench_json) BENCH_pdn.txt > BENCH_pdn.json
+	@rm -f BENCH_pdn.txt
+	@cat BENCH_pdn.json
 
 lint: vet fmt-check
 

@@ -60,8 +60,8 @@ func TestRunSprint(t *testing.T) {
 }
 
 func TestExperimentLookup(t *testing.T) {
-	if len(ExperimentIDs()) != 20 {
-		t.Fatalf("experiment count = %d, want 20", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 21 {
+		t.Fatalf("experiment count = %d, want 21", len(ExperimentIDs()))
 	}
 	out, err := Experiment("overhead", 2025)
 	if err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -89,5 +91,48 @@ func TestASCIIMitigationPositive(t *testing.T) {
 	idx := strings.LastIndex(out, "mitigation: ")
 	if idx < 0 || strings.HasPrefix(out[idx:], "mitigation: -") {
 		t.Fatalf("expected positive mitigation, got %q", out[idx:])
+	}
+}
+
+// TestDefaultOutputBytesPinned pins irmap's default-flag output —
+// ASCII and CSV — byte for byte against the pre-multigrid solver.
+// The default scale must keep solving through the Gauss-Seidel
+// reference precisely so these bytes never move.
+func TestDefaultOutputBytesPinned(t *testing.T) {
+	_, ascii, _ := runCapture(t)
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(ascii))); got != "4f46eb73fe686ec26d950e2f314eb56eed47c926298c496d3027fa8c634ceaa1" {
+		t.Errorf("default ASCII output drifted: sha256 %s", got)
+	}
+	_, csv, _ := runCapture(t, "-csv")
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(csv))); got != "5c2ec9e000fbb8674d86b56683950f63fecbe72a874ee017a82fc149a871c67e" {
+		t.Errorf("default CSV output drifted: sha256 %s", got)
+	}
+}
+
+func TestScaleFlag(t *testing.T) {
+	for _, bad := range [][]string{{"-scale", "0"}, {"-scale", "17"}} {
+		if code, _, stderr := runCapture(t, bad...); code != 2 || stderr == "" {
+			t.Errorf("%v: exit %d, want 2 with diagnostics", bad, code)
+		}
+	}
+	code, out, stderr := runCapture(t, "-scale", "2", "-csv", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Two heatmaps at 128x128, plus two banners and the mitigation line.
+	if want := 2*(1+128) + 1; len(lines) != want {
+		t.Fatalf("line count = %d, want %d", len(lines), want)
+	}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "--- ") || strings.HasPrefix(line, "mitigation: ") {
+			continue
+		}
+		if cols := len(strings.Split(line, ",")); cols != 128 {
+			t.Fatalf("CSV row has %d columns, want 128", cols)
+		}
+	}
+	if !strings.Contains(out, "mitigation: ") || strings.Contains(out, "mitigation: -") {
+		t.Fatalf("scaled run must report positive mitigation")
 	}
 }

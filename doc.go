@@ -50,4 +50,19 @@
 // implementations, and the toggle sources draw their RNG in cell
 // order, so fixed-seed outputs are unchanged across the packed
 // refactor.
+//
+// The power-delivery mesh behind the Fig. 16 layout maps solves
+// through a pluggable solver subsystem (internal/pdn): a geometric
+// multigrid V-cycle with red-black checkerboard-parallel smoothing and
+// a warm-start cache replaces thousands of Gauss-Seidel sweeps with a
+// handful of cycles (~54x on the 64x64 sign-off solve; a 512x512
+// production floorplan — pdn.ScaledFloorplan, 64x the unknowns —
+// solves in less wall-clock than the reference needs for 64x64; see
+// BENCH_pdn.json from `make bench-pdn`). The original relaxation loop
+// is retained as the reference implementation on the same stencil
+// kernel, bit-identical to the historical solver, and keeps serving
+// the default die so Fig. 16 tables and cmd/irmap output are pinned
+// byte-for-byte; multigrid equivalence within the rendering quantum is
+// enforced by table-driven tests across grid sizes, pad pitches, warm
+// and cold starts, and sweep worker counts.
 package aim

@@ -109,6 +109,7 @@ func Registry() []struct {
 		{"fig22", Fig22},
 		{"vfsens", VfSensitivity},
 		{"overhead", Overhead},
+		{"fig16scale", Fig16Scale},
 	}
 }
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,7 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3", "fig4", "fig5", "fig7", "table2", "table3", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "sec66", "fig18", "fig19",
-		"fig20", "fig21", "fig22", "vfsens", "overhead",
+		"fig20", "fig21", "fig22", "vfsens", "overhead", "fig16scale",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -427,5 +429,42 @@ func TestOverheadBounds(t *testing.T) {
 	monP := parsePct(t, tb.Rows[1][2])
 	if mon > 0.001 || monP > 0.005 {
 		t.Errorf("monitor overhead %v/%v beyond paper bounds", mon, monP)
+	}
+}
+
+// TestFig16TableBytesPinned pins the rendered Fig. 16 table at the
+// default seed, byte for byte. The PDN solver refactor (stencil
+// kernel, multigrid subsystem) must never move this table: the default
+// floorplan solves through the retained Gauss-Seidel reference, whose
+// iterates are bit-identical to the historical loop. If this fails,
+// either the reference solver's float ops changed or the default
+// floorplan picked up a different solver — both are regressions.
+func TestFig16TableBytesPinned(t *testing.T) {
+	const want = "52441799c514be3eea3347c8621df3e433a0ac2e4d8ff6341eaef4fd81ec841f"
+	got := fmt.Sprintf("%x", sha256.Sum256([]byte(Fig16(2025).Render())))
+	if got != want {
+		t.Errorf("Fig16 table bytes drifted: sha256 %s, pinned %s", got, want)
+	}
+}
+
+func TestFig16ScaleShape(t *testing.T) {
+	tb := Fig16Scale(seed)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 scales x before/after", len(tb.Rows))
+	}
+	for i := 0; i < len(tb.Rows); i += 2 {
+		before := parseF(t, tb.Rows[i][3])
+		after := parseF(t, tb.Rows[i+1][3])
+		if after >= before {
+			t.Errorf("%s: AIM must reduce the worst drop (%v vs %v)", tb.Rows[i][0], after, before)
+		}
+		// Scale-invariant physics: every die's sign-off-shaped worst
+		// drop stays in the calibrated neighbourhood.
+		if before < 55 || before > 110 {
+			t.Errorf("%s: before-AIM worst drop %.1f mV outside the calibrated band", tb.Rows[i][0], before)
+		}
+	}
+	if tb.Rows[0][0] != "128x128" || tb.Rows[4][0] != "512x512" {
+		t.Errorf("unexpected die labels: %v / %v", tb.Rows[0][0], tb.Rows[4][0])
 	}
 }

@@ -5,12 +5,20 @@ import "fmt"
 // Floorplan is the layout of the paper's 7nm 256-TOPS PIM chip
 // (Fig. 16): two RISC-V cores and on-chip memory along one edge, and a
 // 4×4 array of macro-group tiles occupying the rest of the die.
+// ScaledFloorplan generalizes the same layout to production-scale dies.
 type Floorplan struct {
 	Grid   *Grid
 	Cores  Rect
 	Memory Rect
 	// GroupTiles holds one region per macro group, row-major.
 	GroupTiles []Rect
+	// Solver, when non-nil, performs SolveActivity's mesh solves — a
+	// warm-started Multigrid on scaled floorplans. nil falls back to
+	// the retained Gauss-Seidel reference, which keeps the default
+	// 64×64 die's rendered output byte-identical to the historical
+	// solver. Solvers carry state; a Floorplan with a Solver is not
+	// safe for concurrent SolveActivity calls.
+	Solver Solver
 }
 
 // ActivityCurrents are the per-component current densities (amps per
@@ -37,18 +45,45 @@ func DefaultActivity() ActivityCurrents {
 
 // DefaultFloorplan builds the 64×64-cell die: a 64×12 top strip holding
 // cores (left half) and memory (right half), and a 4×4 array of 13×13
-// group tiles below.
+// group tiles below. It solves through the Gauss-Seidel reference, so
+// its rendered maps are byte-stable across solver generations; use
+// ScaledFloorplan for the multigrid production path.
 func DefaultFloorplan() *Floorplan {
-	g := NewGrid(64, 64, 0.75, 18.0, 45.0, 8)
+	return floorplanGeometry(1)
+}
+
+// ScaledFloorplan builds a production-scale die: the default layout
+// scaled by factor f per edge — a 64f×64f-cell grid, an f-times-larger
+// core/memory strip, a 4f×4f array of group tiles, and the same 8-cell
+// bump pitch (so the bump array grows with the die, as flip-chip
+// arrays do). ScaledFloorplan(8) is the 512×512 sign-off scenario.
+// The returned floorplan solves through a warm-started Multigrid;
+// Gauss-Seidel at these scales needs more sweeps than its iteration
+// budget allows. ScaledFloorplan(1) has DefaultFloorplan's geometry
+// but the production solver.
+func ScaledFloorplan(f int) *Floorplan {
+	if f < 1 {
+		panic(fmt.Sprintf("pdn: non-positive floorplan scale %d", f))
+	}
+	fp := floorplanGeometry(f)
+	fp.Solver = NewMultigrid(fp.Grid)
+	return fp
+}
+
+// floorplanGeometry lays out the scaled die. At f=1 every coordinate
+// matches the historical DefaultFloorplan exactly.
+func floorplanGeometry(f int) *Floorplan {
+	g := NewGrid(64*f, 64*f, 0.75, 18.0, 45.0, 8)
+	stripY1 := 2 + 8*f
 	fp := &Floorplan{
 		Grid:   g,
-		Cores:  Rect{X0: 2, Y0: 2, X1: 30, Y1: 10},
-		Memory: Rect{X0: 34, Y0: 2, X1: 62, Y1: 10},
+		Cores:  Rect{X0: 2, Y0: 2, X1: 2 + 28*f, Y1: stripY1},
+		Memory: Rect{X0: 64*f - 2 - 28*f, Y0: 2, X1: 64*f - 2, Y1: stripY1},
 	}
-	for gy := 0; gy < 4; gy++ {
-		for gx := 0; gx < 4; gx++ {
+	for gy := 0; gy < 4*f; gy++ {
+		for gx := 0; gx < 4*f; gx++ {
 			x0 := 2 + gx*15
-			y0 := 13 + gy*12
+			y0 := stripY1 + 3 + gy*12
 			fp.GroupTiles = append(fp.GroupTiles, Rect{X0: x0, Y0: y0, X1: x0 + 13, Y1: y0 + 10})
 		}
 	}
@@ -84,9 +119,17 @@ func (fp *Floorplan) CurrentMap(act ActivityCurrents, groupRtog []float64) []flo
 
 // SolveActivity is the convenience path: build the current map, solve,
 // and return the drop map plus the worst drop over all macro tiles.
+// Successive calls on a Solver-equipped floorplan warm-start from the
+// previous voltage field — the repeated-solve pattern of per-group
+// Rtog sweeps and V-f calibration.
 func (fp *Floorplan) SolveActivity(act ActivityCurrents, groupRtog []float64) (drop []float64, worstMacroDrop float64) {
 	cur := fp.CurrentMap(act, groupRtog)
-	v, _ := fp.Grid.Solve(cur, 1e-6, 4000)
+	var v []float64
+	if fp.Solver != nil {
+		v, _ = fp.Solver.Solve(cur, 1e-6, 4000)
+	} else {
+		v, _ = fp.Grid.Solve(cur, 1e-6, 4000)
+	}
 	drop = fp.Grid.DropMap(v)
 	for _, r := range fp.GroupTiles {
 		if d := MaxDropIn(drop, fp.Grid.W, r); d > worstMacroDrop {

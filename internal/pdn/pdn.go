@@ -5,18 +5,29 @@
 // IR-drop tools (RedHawk) the paper uses: every floorplan cell connects
 // to its four neighbours through mesh resistance and, at bump sites, to
 // the ideal supply through a pad resistance; cells draw the current the
-// activity model assigns them. Gauss-Seidel relaxation yields the
-// steady-state voltage map, from which layout heatmaps (paper Fig. 16)
-// and per-region IR-drop numbers are derived.
+// activity model assigns them. Solving the mesh yields the steady-state
+// voltage map, from which layout heatmaps (paper Fig. 16) and
+// per-region IR-drop numbers are derived.
+//
+// Two solvers share one precomputed stencil kernel (per-cell
+// conductance sums instead of branchy neighbour checks): the retained
+// Gauss-Seidel reference (Grid.Solve — bit-identical to the historical
+// loop, and the byte-stable default behind Fig. 16 / cmd/irmap), and
+// the production Multigrid solver — a geometric V-cycle with red-black
+// checkerboard-parallel smoothing and warm-start caching that solves
+// production-scale floorplans (ScaledFloorplan, up to 512×512 and
+// beyond) orders of magnitude faster than relaxation alone.
 package pdn
 
 import (
 	"fmt"
-	"math"
-	"strings"
+	"strconv"
+	"sync"
 )
 
-// Grid is a W×H resistive mesh.
+// Grid is a W×H resistive mesh. The geometry fields must not be
+// mutated after the first solve: solvers cache the precomputed stencil
+// kernel on the grid.
 type Grid struct {
 	W, H int
 	// Vdd is the ideal supply voltage (volts).
@@ -27,10 +38,16 @@ type Grid struct {
 	Gpad float64
 	// pads marks bump locations.
 	pads []bool
+
+	stOnce sync.Once
+	st     *stencil
 }
 
 // NewGrid builds a grid with a regular bump array every `pitch` cells
-// (offset pitch/2), the standard flip-chip pattern.
+// (offset pitch/2), the standard flip-chip pattern. It panics when the
+// dimensions, conductances or pitch are non-positive, and when the
+// pitch is so large that no bump lands on the die — a padless mesh has
+// no supply connection, so every solve would silently float.
 func NewGrid(w, h int, vdd, gmesh, gpad float64, pitch int) *Grid {
 	if w <= 0 || h <= 0 {
 		panic("pdn: non-positive grid")
@@ -38,13 +55,27 @@ func NewGrid(w, h int, vdd, gmesh, gpad float64, pitch int) *Grid {
 	if pitch <= 0 {
 		panic("pdn: non-positive bump pitch")
 	}
+	if gmesh <= 0 || gpad <= 0 {
+		panic("pdn: non-positive conductance")
+	}
 	g := &Grid{W: w, H: h, Vdd: vdd, Gmesh: gmesh, Gpad: gpad, pads: make([]bool, w*h)}
+	n := 0
 	for y := pitch / 2; y < h; y += pitch {
 		for x := pitch / 2; x < w; x += pitch {
 			g.pads[y*w+x] = true
+			n++
 		}
 	}
+	if n == 0 {
+		panic(fmt.Sprintf("pdn: bump pitch %d places no pads on a %dx%d die", pitch, w, h))
+	}
 	return g
+}
+
+// stencil lazily builds the shared solver kernel.
+func (g *Grid) stencil() *stencil {
+	g.stOnce.Do(func() { g.st = newStencil(g) })
+	return g.st
 }
 
 // PadCount returns the number of bump sites.
@@ -61,59 +92,11 @@ func (g *Grid) PadCount() int {
 // Solve computes the steady-state voltage at every cell for the given
 // per-cell current draw (amps, length W*H), by Gauss-Seidel relaxation
 // to the given tolerance (volts). It returns the voltage map and the
-// number of sweeps used.
+// number of sweeps used. This is the retained reference path — its
+// iterates are bit-identical to the historical solver; use a
+// Multigrid for large grids or repeated solves.
 func (g *Grid) Solve(current []float64, tol float64, maxIter int) ([]float64, int) {
-	if len(current) != g.W*g.H {
-		panic(fmt.Sprintf("pdn: current map size %d != %d", len(current), g.W*g.H))
-	}
-	v := make([]float64, g.W*g.H)
-	for i := range v {
-		v[i] = g.Vdd
-	}
-	iter := 0
-	for ; iter < maxIter; iter++ {
-		maxDelta := 0.0
-		for y := 0; y < g.H; y++ {
-			for x := 0; x < g.W; x++ {
-				i := y*g.W + x
-				sumG := 0.0
-				sumGV := 0.0
-				if x > 0 {
-					sumG += g.Gmesh
-					sumGV += g.Gmesh * v[i-1]
-				}
-				if x < g.W-1 {
-					sumG += g.Gmesh
-					sumGV += g.Gmesh * v[i+1]
-				}
-				if y > 0 {
-					sumG += g.Gmesh
-					sumGV += g.Gmesh * v[i-g.W]
-				}
-				if y < g.H-1 {
-					sumG += g.Gmesh
-					sumGV += g.Gmesh * v[i+g.W]
-				}
-				if g.pads[i] {
-					sumG += g.Gpad
-					sumGV += g.Gpad * g.Vdd
-				}
-				if sumG == 0 {
-					continue
-				}
-				nv := (sumGV - current[i]) / sumG
-				if d := math.Abs(nv - v[i]); d > maxDelta {
-					maxDelta = d
-				}
-				v[i] = nv
-			}
-		}
-		if maxDelta < tol {
-			iter++
-			break
-		}
-	}
-	return v, iter
+	return NewGaussSeidel(g).Solve(current, tol, maxIter)
 }
 
 // DropMap converts a voltage map into IR-drop (volts below Vdd).
@@ -176,41 +159,51 @@ func (r Rect) Contains(x, y int) bool {
 }
 
 // RenderASCII draws a drop map as an ASCII heatmap (like the paper's
-// Fig. 16 voltage-supply plots), scaling between lo and hi volts.
+// Fig. 16 voltage-supply plots), scaling between lo and hi volts. The
+// buffer is sized up front and written by index — this renders inside
+// Fig. 16's output path, where a 512×512 map is a quarter-million
+// cells.
 func RenderASCII(drop []float64, w int, lo, hi float64) string {
-	shades := []byte(" .:-=+*#%@")
-	var sb strings.Builder
+	const shades = " .:-=+*#%@"
 	h := len(drop) / w
+	buf := make([]byte, (w+1)*h)
+	p := 0
 	for y := 0; y < h; y++ {
+		row := y * w
 		for x := 0; x < w; x++ {
-			d := drop[y*w+x]
-			f := (d - lo) / (hi - lo)
+			f := (drop[row+x] - lo) / (hi - lo)
 			if f < 0 {
 				f = 0
 			}
 			if f > 1 {
 				f = 1
 			}
-			sb.WriteByte(shades[int(f*float64(len(shades)-1)+0.5)])
+			buf[p] = shades[int(f*float64(len(shades)-1)+0.5)]
+			p++
 		}
-		sb.WriteByte('\n')
+		buf[p] = '\n'
+		p++
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // RenderCSV emits the drop map as CSV rows in millivolts for external
-// plotting.
+// plotting. Values are appended with strconv on a preallocated buffer
+// instead of one fmt.Fprintf per cell; the output bytes are identical.
 func RenderCSV(drop []float64, w int) string {
-	var sb strings.Builder
 	h := len(drop) / w
+	// "NN.NN," per cell is the common case; AppendFloat grows the
+	// buffer on the rare wider value.
+	buf := make([]byte, 0, len(drop)*6+h)
 	for y := 0; y < h; y++ {
+		row := y * w
 		for x := 0; x < w; x++ {
 			if x > 0 {
-				sb.WriteByte(',')
+				buf = append(buf, ',')
 			}
-			fmt.Fprintf(&sb, "%.2f", drop[y*w+x]*1000)
+			buf = strconv.AppendFloat(buf, drop[row+x]*1000, 'f', 2, 64)
 		}
-		sb.WriteByte('\n')
+		buf = append(buf, '\n')
 	}
-	return sb.String()
+	return string(buf)
 }

@@ -17,18 +17,35 @@ func TestGridConstruction(t *testing.T) {
 }
 
 func TestGridPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewGrid(0, 4, 0.75, 1, 1, 2) },
-		func() { NewGrid(4, 4, 0.75, 1, 1, 0) },
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"zero width", func() { NewGrid(0, 4, 0.75, 1, 1, 2) }},
+		{"zero pitch", func() { NewGrid(4, 4, 0.75, 1, 1, 0) }},
+		{"zero mesh conductance", func() { NewGrid(4, 4, 0.75, 0, 1, 2) }},
+		{"negative pad conductance", func() { NewGrid(4, 4, 0.75, 1, -1, 2) }},
+		// A pitch wider than both die edges places no bumps; the mesh
+		// would have no supply connection and every solve would float.
+		{"pitch beyond die", func() { NewGrid(4, 4, 0.75, 1, 1, 10) }},
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Error("expected panic")
+					t.Errorf("%s: expected panic", tc.name)
 				}
 			}()
-			f()
+			tc.f()
 		}()
+	}
+}
+
+func TestMinOfEmptyTraceIsNaN(t *testing.T) {
+	if v := MinOf(nil); !math.IsNaN(v) {
+		t.Errorf("MinOf(nil) = %v, want the NaN sentinel", v)
+	}
+	if v := MinOf([]float64{}); !math.IsNaN(v) {
+		t.Errorf("MinOf(empty) = %v, want the NaN sentinel", v)
 	}
 }
 

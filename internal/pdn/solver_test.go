@@ -1,0 +1,337 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"aim/internal/xrand"
+)
+
+// originalSolve is a verbatim copy of the pre-refactor Grid.Solve
+// loop: the byte-identity reference the stencil-kernel Gauss-Seidel is
+// held to.
+func (g *Grid) originalSolve(current []float64, tol float64, maxIter int) ([]float64, int) {
+	v := make([]float64, g.W*g.H)
+	for i := range v {
+		v[i] = g.Vdd
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				i := y*g.W + x
+				sumG := 0.0
+				sumGV := 0.0
+				if x > 0 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i-1]
+				}
+				if x < g.W-1 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i+1]
+				}
+				if y > 0 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i-g.W]
+				}
+				if y < g.H-1 {
+					sumG += g.Gmesh
+					sumGV += g.Gmesh * v[i+g.W]
+				}
+				if g.pads[i] {
+					sumG += g.Gpad
+					sumGV += g.Gpad * g.Vdd
+				}
+				if sumG == 0 {
+					continue
+				}
+				nv := (sumGV - current[i]) / sumG
+				if d := math.Abs(nv - v[i]); d > maxDelta {
+					maxDelta = d
+				}
+				v[i] = nv
+			}
+		}
+		if maxDelta < tol {
+			iter++
+			break
+		}
+	}
+	return v, iter
+}
+
+// solverGrids is the table of geometries the equivalence tests sweep:
+// even/odd dimensions, non-square dies, single-column meshes, sparse
+// and dense bump arrays.
+var solverGrids = []struct {
+	name        string
+	w, h        int
+	gmesh, gpad float64
+	pitch       int
+}{
+	{"16x16 p4", 16, 16, 10, 50, 4},
+	{"17x17 single pad", 17, 17, 10, 80, 16},
+	{"64x64 flip-chip", 64, 64, 18, 45, 8},
+	{"33x47 odd", 33, 47, 18, 45, 6},
+	{"12x9 dense", 12, 9, 10, 30, 2},
+	{"1x8 column", 1, 8, 10, 50, 1},
+	{"96x40 wide", 96, 40, 18, 45, 8},
+}
+
+func randomCurrent(n int, seed int64, scale float64) []float64 {
+	rng := xrand.New(seed)
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = rng.Float64() * scale
+	}
+	return cur
+}
+
+// TestGaussSeidelMatchesOriginalBytes holds the refactored
+// stencil-kernel Gauss-Seidel to the historical loop bit for bit —
+// every iterate, every sweep count. This is what keeps Fig. 16 and
+// cmd/irmap output byte-identical across the solver refactor.
+func TestGaussSeidelMatchesOriginalBytes(t *testing.T) {
+	for _, tc := range solverGrids {
+		g := NewGrid(tc.w, tc.h, 0.75, tc.gmesh, tc.gpad, tc.pitch)
+		cur := randomCurrent(tc.w*tc.h, 7, 0.01)
+		vOld, itOld := g.originalSolve(cur, 1e-6, 4000)
+		vNew, itNew := g.Solve(cur, 1e-6, 4000)
+		if itOld != itNew {
+			t.Errorf("%s: iterations %d vs original %d", tc.name, itNew, itOld)
+		}
+		for i := range vOld {
+			if vOld[i] != vNew[i] {
+				t.Fatalf("%s: cell %d differs: %v vs original %v", tc.name, i, vNew[i], vOld[i])
+			}
+		}
+	}
+}
+
+// TestMultigridMatchesGaussSeidel is the core equivalence guarantee:
+// on every geometry, the multigrid field agrees with a
+// tightly-converged Gauss-Seidel solve to well inside the rendering
+// quantum (0.005 mV), cold-started and warm-started.
+func TestMultigridMatchesGaussSeidel(t *testing.T) {
+	for _, tc := range solverGrids {
+		g := NewGrid(tc.w, tc.h, 0.75, tc.gmesh, tc.gpad, tc.pitch)
+		cur := randomCurrent(tc.w*tc.h, 11, 0.008)
+		vRef, _ := g.Solve(cur, 1e-10, 2000000)
+		mg := NewMultigrid(g)
+		vMG, iters := mg.Solve(cur, 1e-8, 200)
+		if iters >= 200 {
+			t.Errorf("%s: multigrid did not converge (%d cycles)", tc.name, iters)
+		}
+		for i := range vRef {
+			if d := math.Abs(vMG[i] - vRef[i]); d > 2e-6 {
+				t.Fatalf("%s: cell %d off by %.3g V (mg %v, gs %v)", tc.name, i, d, vMG[i], vRef[i])
+			}
+		}
+
+		// Warm start from a different current map must land on the same
+		// field as a cold start.
+		cur2 := randomCurrent(tc.w*tc.h, 13, 0.008)
+		warm, _ := mg.Solve(cur2, 1e-8, 200)
+		cold, _ := NewMultigrid(g).Solve(cur2, 1e-8, 200)
+		for i := range warm {
+			if d := math.Abs(warm[i] - cold[i]); d > 2e-6 {
+				t.Fatalf("%s: warm-start cell %d off by %.3g V", tc.name, i, d)
+			}
+		}
+	}
+}
+
+// TestMultigridParallelMatchesSerial: checkerboard parallelism must be
+// a pure wall-clock knob — identical bits for any worker count. The
+// grid is sized above parallelMinCells so banded sweeps actually run.
+func TestMultigridParallelMatchesSerial(t *testing.T) {
+	g := NewGrid(192, 192, 0.75, 18, 45, 8)
+	cur := randomCurrent(192*192, 17, 0.01)
+	serial := NewMultigrid(g)
+	serial.Workers = 1
+	vS, itS := serial.Solve(cur, 1e-7, 200)
+	for _, workers := range []int{2, 3, 5} {
+		par := NewMultigrid(g)
+		par.Workers = workers
+		vP, itP := par.Solve(cur, 1e-7, 200)
+		if itS != itP {
+			t.Errorf("workers=%d: cycles %d vs serial %d", workers, itP, itS)
+		}
+		for i := range vS {
+			if vS[i] != vP[i] {
+				t.Fatalf("workers=%d: cell %d differs: %v vs %v", workers, i, vP[i], vS[i])
+			}
+		}
+	}
+}
+
+// TestMultigridEqualAccuracyTolerance justifies the 512×512
+// benchmark's tol=1e-4: at that setting the multigrid field is
+// strictly closer to the true solution than the Gauss-Seidel reference
+// is at its own sign-off tolerance of 1e-6 (relaxation's sweep-delta
+// criterion stops ~1e-4 V short; a V-cycle's delta tracks its error).
+func TestMultigridEqualAccuracyTolerance(t *testing.T) {
+	fp := DefaultFloorplan()
+	rt := make([]float64, len(fp.GroupTiles))
+	for i := range rt {
+		rt[i] = 1
+	}
+	cur := fp.CurrentMap(DefaultActivity(), rt)
+	exact, _ := fp.Grid.Solve(cur, 1e-13, 4000000)
+	gs, _ := fp.Grid.Solve(cur, 1e-6, 4000)
+	mg, _ := NewMultigrid(fp.Grid).Solve(cur, 1e-4, 200)
+	maxDiff := func(a, b []float64) float64 {
+		m := 0.0
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	gsErr := maxDiff(gs, exact)
+	mgErr := maxDiff(mg, exact)
+	if mgErr > gsErr {
+		t.Errorf("multigrid at tol 1e-4 (err %.3g V) is less accurate than the GS sign-off solve (err %.3g V)", mgErr, gsErr)
+	}
+	if gsErr < 1e-6 {
+		t.Errorf("GS reference unexpectedly tight (err %.3g V); the equal-accuracy argument needs revisiting", gsErr)
+	}
+}
+
+// TestMultigridIterationCap: an exhausted cycle budget reports the cap
+// like Gauss-Seidel does.
+func TestMultigridIterationCap(t *testing.T) {
+	g := NewGrid(64, 64, 0.75, 18, 45, 8)
+	cur := randomCurrent(64*64, 5, 0.01)
+	mg := NewMultigrid(g)
+	if _, iters := mg.Solve(cur, 1e-12, 2); iters != 2 {
+		t.Errorf("iters = %d, want the cap 2", iters)
+	}
+}
+
+// TestMultigridResetColdStarts: Reset must drop the warm-start cache.
+func TestMultigridResetColdStarts(t *testing.T) {
+	g := NewGrid(32, 32, 0.75, 18, 45, 8)
+	cur := randomCurrent(32*32, 19, 0.01)
+	mg := NewMultigrid(g)
+	v1, it1 := mg.Solve(cur, 1e-8, 200)
+	mg.Reset()
+	v2, it2 := mg.Solve(cur, 1e-8, 200)
+	if it1 != it2 {
+		t.Errorf("cold re-solve used %d cycles, first solve %d", it2, it1)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("cold re-solve diverged at cell %d", i)
+		}
+	}
+	// A warm re-solve of the same map converges immediately.
+	if _, it3 := mg.Solve(cur, 1e-8, 200); it3 >= it1 {
+		t.Errorf("warm re-solve used %d cycles, want fewer than %d", it3, it1)
+	}
+}
+
+// TestMultigridSolveCopies: the returned field must not alias the
+// warm-start cache.
+func TestMultigridSolveCopies(t *testing.T) {
+	g := NewGrid(16, 16, 0.75, 18, 45, 4)
+	cur := randomCurrent(256, 23, 0.01)
+	mg := NewMultigrid(g)
+	v, _ := mg.Solve(cur, 1e-8, 200)
+	v[0] = -1
+	v2, _ := mg.Solve(cur, 1e-8, 200)
+	if v2[0] == -1 {
+		t.Fatal("Solve returned its internal warm-start buffer")
+	}
+}
+
+// TestScaledFloorplanGeometry: scale 1 reproduces the default die
+// exactly; larger scales keep every region on the die with the
+// expected tile and pad counts.
+func TestScaledFloorplanGeometry(t *testing.T) {
+	def := DefaultFloorplan()
+	s1 := ScaledFloorplan(1)
+	if s1.Cores != def.Cores || s1.Memory != def.Memory || len(s1.GroupTiles) != len(def.GroupTiles) {
+		t.Fatalf("scale 1 geometry differs from the default floorplan")
+	}
+	for i := range def.GroupTiles {
+		if s1.GroupTiles[i] != def.GroupTiles[i] {
+			t.Fatalf("scale 1 tile %d differs: %+v vs %+v", i, s1.GroupTiles[i], def.GroupTiles[i])
+		}
+	}
+	if s1.Solver == nil {
+		t.Error("scaled floorplans must carry the production solver")
+	}
+	if def.Solver != nil {
+		t.Error("the default floorplan must keep the byte-stable reference path")
+	}
+	for _, f := range []int{2, 4, 8} {
+		fp := ScaledFloorplan(f)
+		if fp.Grid.W != 64*f || fp.Grid.H != 64*f {
+			t.Fatalf("scale %d: die %dx%d", f, fp.Grid.W, fp.Grid.H)
+		}
+		if want := 16 * f * f; len(fp.GroupTiles) != want {
+			t.Fatalf("scale %d: %d tiles, want %d", f, len(fp.GroupTiles), want)
+		}
+		if want := 64 * f * f; fp.Grid.PadCount() != want {
+			t.Fatalf("scale %d: %d pads, want %d", f, fp.Grid.PadCount(), want)
+		}
+		for i, r := range fp.GroupTiles {
+			if r.X0 < 0 || r.Y0 <= fp.Cores.Y1 || r.X1 > fp.Grid.W || r.Y1 > fp.Grid.H {
+				t.Fatalf("scale %d: tile %d out of die or into the core strip: %+v", f, i, r)
+			}
+		}
+	}
+}
+
+// TestScaledFloorplanSignoff: the production-scale die keeps the
+// calibrated sign-off physics — the same per-cell activity at scale 2
+// lands in the paper's ~140 mV band, since bump density and tile
+// current density are unchanged.
+func TestScaledFloorplanSignoff(t *testing.T) {
+	fp := ScaledFloorplan(2)
+	rt := make([]float64, len(fp.GroupTiles))
+	for i := range rt {
+		rt[i] = 1
+	}
+	drop, worst := fp.SolveActivity(DefaultActivity(), rt)
+	if worst < 0.120 || worst > 0.175 {
+		t.Errorf("scale-2 sign-off worst = %.1f mV, want the calibrated band", worst*1000)
+	}
+	coreDrop := MaxDropIn(drop, fp.Grid.W, fp.Cores)
+	if coreDrop >= worst {
+		t.Errorf("core drop %v should stay below macro worst %v", coreDrop, worst)
+	}
+
+	// Warm-started re-solve at lower activity: same field as a fresh
+	// solver, the Fig. 16 sweep pattern.
+	for i := range rt {
+		rt[i] = 0.4
+	}
+	dropWarm, worstWarm := fp.SolveActivity(DefaultActivity(), rt)
+	fresh := ScaledFloorplan(2)
+	dropCold, worstCold := fresh.SolveActivity(DefaultActivity(), rt)
+	if math.Abs(worstWarm-worstCold) > 2e-6 {
+		t.Errorf("warm vs cold worst drop: %v vs %v", worstWarm, worstCold)
+	}
+	for i := range dropWarm {
+		if math.Abs(dropWarm[i]-dropCold[i]) > 2e-6 {
+			t.Fatalf("warm vs cold field differs at cell %d", i)
+		}
+	}
+	if worstWarm >= worst {
+		t.Errorf("lower activity must shrink the drop: %v vs %v", worstWarm, worst)
+	}
+}
+
+// TestScaledFloorplanPanics: scale 0 is rejected.
+func TestScaledFloorplanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for scale 0")
+		}
+	}()
+	ScaledFloorplan(0)
+}

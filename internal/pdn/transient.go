@@ -1,6 +1,9 @@
 package pdn
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Transient extends the static mesh with per-cell capacitance — the
 // decoupling capacitors and intrinsic device capacitance that govern
@@ -35,12 +38,15 @@ func (t *Transient) MaxStableDt() float64 {
 // Solve integrates the mesh from the all-Vdd state under a
 // time-varying current map: current(step) returns the per-cell draw at
 // that step. It returns, for each probe cell index, the voltage trace
-// over the run.
+// over the run. The integration runs on the shared stencil kernel
+// (same floating-point op order as the historical branchy loop, so
+// traces are bit-identical).
 func (t *Transient) Solve(current func(step int) []float64, dt float64, steps int, probes []int) [][]float64 {
 	g := t.Grid
 	if dt <= 0 || dt > t.MaxStableDt() {
 		panic(fmt.Sprintf("pdn: dt %g outside stable range (0, %g]", dt, t.MaxStableDt()))
 	}
+	st := g.stencil()
 	n := g.W * g.H
 	v := make([]float64, n)
 	for i := range v {
@@ -56,34 +62,69 @@ func (t *Transient) Solve(current func(step int) []float64, dt float64, steps in
 		if len(cur) != n {
 			panic("pdn: current map size mismatch")
 		}
-		for y := 0; y < g.H; y++ {
-			for x := 0; x < g.W; x++ {
-				i := y*g.W + x
-				flow := -cur[i]
-				if x > 0 {
-					flow += g.Gmesh * (v[i-1] - v[i])
-				}
-				if x < g.W-1 {
-					flow += g.Gmesh * (v[i+1] - v[i])
-				}
-				if y > 0 {
-					flow += g.Gmesh * (v[i-g.W] - v[i])
-				}
-				if y < g.H-1 {
-					flow += g.Gmesh * (v[i+g.W] - v[i])
-				}
-				if g.pads[i] {
-					flow += g.Gpad * (g.Vdd - v[i])
-				}
-				next[i] = v[i] + dt*flow/t.CapF
-			}
-		}
+		st.eulerStep(v, next, cur, g.Vdd, dt, t.CapF)
 		v, next = next, v
 		for pi, p := range probes {
 			traces[pi] = append(traces[pi], v[p])
 		}
 	}
 	return traces
+}
+
+// eulerStep advances the RC mesh one explicit-Euler step: next = v +
+// dt·flow/capF with flow the net current into each cell. Rows are
+// segmented so interior cells run branch-free, preserving the original
+// neighbour order (left, right, up, down, pad).
+func (s *stencil) eulerStep(v, next, cur []float64, vdd, dt, capF float64) {
+	w, h := s.w, s.h
+	gm := s.gmesh
+	cell := func(i int, flow, vi float64) {
+		if s.padG[i] != 0 {
+			flow += s.padG[i] * (vdd - vi)
+		}
+		next[i] = vi + dt*flow/capF
+	}
+	for y := 0; y < h; y++ {
+		row := y * w
+		if y == 0 || y == h-1 || w < 3 {
+			for x := 0; x < w; x++ {
+				i := row + x
+				vi := v[i]
+				flow := -cur[i]
+				if x > 0 {
+					flow += gm * (v[i-1] - vi)
+				}
+				if x < w-1 {
+					flow += gm * (v[i+1] - vi)
+				}
+				if y > 0 {
+					flow += gm * (v[i-w] - vi)
+				}
+				if y < h-1 {
+					flow += gm * (v[i+w] - vi)
+				}
+				cell(i, flow, vi)
+			}
+			continue
+		}
+		{
+			vi := v[row]
+			cell(row, -cur[row]+gm*(v[row+1]-vi)+gm*(v[row-w]-vi)+gm*(v[row+w]-vi), vi)
+		}
+		up := v[row-w : row : row]
+		cr := v[row : row+w : row+w]
+		dn := v[row+w : row+2*w : row+2*w]
+		for x := 1; x < w-1; x++ {
+			i := row + x
+			vi := cr[x]
+			cell(i, -cur[i]+gm*(cr[x-1]-vi)+gm*(cr[x+1]-vi)+gm*(up[x]-vi)+gm*(dn[x]-vi), vi)
+		}
+		{
+			i := row + w - 1
+			vi := v[i]
+			cell(i, -cur[i]+gm*(v[i-1]-vi)+gm*(v[i-w]-vi)+gm*(v[i+w]-vi), vi)
+		}
+	}
 }
 
 // StepResponse applies a current step (zero before stepAt, the given
@@ -100,8 +141,13 @@ func (t *Transient) StepResponse(onCurrent []float64, stepAt, dt float64, steps 
 	}, dt, steps, probes)
 }
 
-// MinOf returns the deepest excursion of a trace.
+// MinOf returns the deepest excursion of a trace, or NaN for an empty
+// trace — the documented sentinel, instead of the historical
+// out-of-range panic.
 func MinOf(trace []float64) float64 {
+	if len(trace) == 0 {
+		return math.NaN()
+	}
 	m := trace[0]
 	for _, v := range trace[1:] {
 		if v < m {

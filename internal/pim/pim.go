@@ -91,27 +91,51 @@ type Bank struct {
 // NewBank stores the given weight codes (length ≤ cells; the rest of
 // the bank holds zeros, as unused rows do in silicon).
 func NewBank(codes []int32, cells, bits int) *Bank {
-	if len(codes) > cells {
-		panic("pim: more codes than cells")
-	}
 	b := &Bank{weights: make([]int32, cells), hams: make([]int, cells), bits: bits}
-	copy(b.weights, codes)
 	b.planes = make([][]uint64, bits)
 	for i := range b.planes {
 		b.planes[i] = make([]uint64, stream.Words(cells))
 	}
+	b.load(codes)
+	return b
+}
+
+// LoadBank refills a bank with new codes in place, reusing its storage
+// when the geometry matches — the per-wave synthetic-bank churn in the
+// simulator's hot path would otherwise reallocate every plane for
+// every task on every wave. A nil bank or a geometry change allocates
+// fresh. Returns the loaded bank.
+func LoadBank(b *Bank, codes []int32, cells, bits int) *Bank {
+	if b == nil || len(b.weights) != cells || b.bits != bits {
+		return NewBank(codes, cells, bits)
+	}
+	for i := range b.planes {
+		clear(b.planes[i])
+	}
+	b.load(codes)
+	return b
+}
+
+// load (re)derives the packed planes and Hamming caches from codes;
+// planes must be zeroed.
+func (b *Bank) load(codes []int32) {
+	if len(codes) > len(b.weights) {
+		panic("pim: more codes than cells")
+	}
+	copy(b.weights, codes)
+	clear(b.weights[len(codes):])
+	b.hm = 0
 	for k, w := range b.weights {
-		h := fxp.Hamming(w, bits)
+		h := fxp.Hamming(w, b.bits)
 		b.hams[k] = h
 		b.hm += h
-		code := fxp.Code(w, bits)
-		for i := 0; i < bits; i++ {
+		code := fxp.Code(w, b.bits)
+		for i := 0; i < b.bits; i++ {
 			if code>>uint(i)&1 != 0 {
 				b.planes[i][k/64] |= 1 << uint(k%64)
 			}
 		}
 	}
-	return b
 }
 
 // BitPlane returns the packed weight mask of bit position i (cell k at

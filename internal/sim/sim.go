@@ -14,7 +14,7 @@ import (
 	"aim/internal/pim"
 	"aim/internal/runner"
 	"aim/internal/vf"
-	"aim/internal/xrand"
+	"context"
 )
 
 // Options configures a run.
@@ -123,6 +123,14 @@ const guardSigma = 2.5
 // stream, and the per-wave results are merged in schedule order, so
 // every field of the Result is bit-identical no matter how many
 // workers execute the shards.
+//
+// Parallel == 1 runs the serial reference path — one fresh allocation
+// set per wave, the historical behaviour equivalence tests pin
+// against. Any other setting runs the production path: waves are
+// grouped into contiguous chunks (a couple per worker, so stragglers
+// still balance) and each chunk reuses one waveScratch across its
+// waves, cutting the synthetic-bank allocation churn without touching
+// a single RNG draw.
 func Run(c *compiler.Compiled, cfg pim.Config, opt Options) Result {
 	if opt.Beta <= 0 {
 		opt.Beta = 50
@@ -134,10 +142,36 @@ func Run(c *compiler.Compiled, cfg pim.Config, opt Options) Result {
 	table := vf.NewTable(m)
 	power := vf.DefaultPowerModel()
 
-	waves := runner.Collect(len(c.Waves), opt.Parallel, func(wi int) waveResult {
-		rng := xrand.NewShard(opt.Seed, "sim/"+c.Net.Name, wi)
-		return runWave(c.Waves[wi], cfg, m, table, power, opt, rng, wi == opt.TraceWave)
-	})
+	wave := func(wi int, scratch *waveScratch) waveResult {
+		rng := scratch.shardRNG(opt.Seed, "sim/"+c.Net.Name, wi)
+		return runWave(c.Waves[wi], cfg, m, table, power, opt, rng, wi == opt.TraceWave, scratch)
+	}
+	var waves []waveResult
+	if workers := runner.Workers(opt.Parallel, len(c.Waves)); opt.Parallel == 1 || len(c.Waves) == 0 {
+		waves = runner.Collect(len(c.Waves), 1, func(wi int) waveResult {
+			return wave(wi, nil)
+		})
+	} else {
+		chunks := workers
+		if workers > 1 {
+			// Two chunks per worker: enough slack to rebalance uneven
+			// waves, coarse enough that scratch reuse still pays.
+			chunks = workers * 2
+			if chunks > len(c.Waves) {
+				chunks = len(c.Waves)
+			}
+		}
+		waves = make([]waveResult, len(c.Waves))
+		runner.Do(context.Background(), chunks, workers, func(ci int) error {
+			scratch := &waveScratch{}
+			lo := ci * len(c.Waves) / chunks
+			hi := (ci + 1) * len(c.Waves) / chunks
+			for wi := lo; wi < hi; wi++ {
+				waves[wi] = wave(wi, scratch)
+			}
+			return nil
+		})
+	}
 
 	var agg aggregate
 	for wi, res := range waves {

@@ -45,18 +45,19 @@ type groupToggles struct {
 // occupied task, with every stored weight bit drawn Bernoulli(HR) so
 // the bank's Hamming rate matches the task's HR in expectation — the
 // microarchitectural analogue of the analytic rtog = p·HR model.
-func newGroupToggles(cfg pim.Config, taskHRs []float64, rng *xrand.RNG, useBytes bool) *groupToggles {
+// A non-nil scratch reuses a chunk worker's pooled buffers; the RNG
+// draw order is identical either way, so the engine's bits are too.
+func newGroupToggles(cfg pim.Config, taskHRs []float64, rng *xrand.RNG, useBytes bool, scratch *waveScratch) *groupToggles {
 	n, q := cfg.CellsPerBank, cfg.WeightBits
-	gt := &groupToggles{
-		cells:     n,
-		totalBits: n * q,
-		words:     make([]uint64, stream.Words(n)),
-	}
+	gt := scratch.toggles()
+	gt.cells = n
+	gt.totalBits = n * q
+	gt.words = scratch.wordBuf(n)
 	if useBytes {
-		gt.bytes = make([]uint8, n)
+		gt.bytes = scratch.byteBuf(n)
 	}
 	for _, hr := range taskHRs {
-		codes := make([]int32, n)
+		codes := scratch.codeBuf(n)
 		for k := range codes {
 			var code uint32
 			for i := 0; i < q; i++ {
@@ -66,7 +67,7 @@ func newGroupToggles(cfg pim.Config, taskHRs []float64, rng *xrand.RNG, useBytes
 			}
 			codes[k] = valueOfCode(code, q)
 		}
-		gt.banks = append(gt.banks, pim.NewBank(codes, n, q))
+		gt.banks = append(gt.banks, scratch.bank(codes, n, q))
 	}
 	return gt
 }

@@ -27,7 +27,7 @@ func TestGroupTogglesHRMatchesTask(t *testing.T) {
 	cfg := pim.DefaultConfig()
 	rng := xrand.New(1)
 	hrs := []float64{0.25, 0.5}
-	gt := newGroupToggles(cfg, hrs, rng, false)
+	gt := newGroupToggles(cfg, hrs, rng, false, nil)
 	if len(gt.banks) != 2 {
 		t.Fatalf("banks = %d", len(gt.banks))
 	}
@@ -64,6 +64,11 @@ func TestPackedFidelityMatchesBytesReference(t *testing.T) {
 
 // TestPackedFidelityParallelMatchesSerial extends PR 1's determinism
 // guarantee to the packed engine: wave sharding must not change a bit.
+// Parallel != 1 additionally exercises the chunked executor with
+// per-chunk scratch reuse (waveScratch) — odd worker counts land chunk
+// boundaries mid-schedule, so reused banks/buffers are proven
+// bit-identical to the allocate-per-wave reference at every boundary
+// shape.
 func TestPackedFidelityParallelMatchesSerial(t *testing.T) {
 	_, aim, net := compileBoth(t, "resnet18")
 	opt := DefaultOptions(net.Transformer, vf.LowPower)
@@ -72,10 +77,30 @@ func TestPackedFidelityParallelMatchesSerial(t *testing.T) {
 	opt.Fidelity = PackedToggles
 	opt.Parallel = 1
 	serial := Run(aim, pim.DefaultConfig(), opt)
-	opt.Parallel = 0
-	parallel := Run(aim, pim.DefaultConfig(), opt)
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Errorf("packed fidelity not shard-deterministic:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	for _, workers := range []int{0, 2, 3, 5} {
+		opt.Parallel = workers
+		parallel := Run(aim, pim.DefaultConfig(), opt)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("packed fidelity not shard-deterministic at Parallel=%d:\nserial:   %+v\nparallel: %+v", workers, serial, parallel)
+		}
+	}
+}
+
+// TestBytesReferenceParallelMatchesSerial covers the pooled byte
+// buffers of the legacy reference engine under chunking too.
+func TestBytesReferenceParallelMatchesSerial(t *testing.T) {
+	_, aim, net := compileBoth(t, "resnet18")
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Seed = seed
+	opt.CyclesPerWave = 60
+	opt.Fidelity = PackedToggles
+	opt.bytesReference = true
+	opt.Parallel = 1
+	serial := Run(aim, pim.DefaultConfig(), opt)
+	opt.Parallel = 3
+	chunked := Run(aim, pim.DefaultConfig(), opt)
+	if !reflect.DeepEqual(serial, chunked) {
+		t.Errorf("byte-reference engine not chunk-deterministic:\nserial:  %+v\nchunked: %+v", serial, chunked)
 	}
 }
 
@@ -113,6 +138,7 @@ func benchSimFidelity(b *testing.B, fidelity ToggleFidelity, bytesRef bool, para
 	opt.Fidelity = fidelity
 	opt.bytesReference = bytesRef
 	opt.Parallel = parallel
+	Run(c, pim.DefaultConfig(), opt) // untimed warm-up: page in caches and heap
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -123,20 +149,25 @@ func benchSimFidelity(b *testing.B, fidelity ToggleFidelity, bytesRef bool, para
 	}
 }
 
-// BenchmarkSimPacked measures an end-to-end PackedToggles run of the
-// word-wise per-cycle pipeline, serial (Parallel=1) for the single-core
-// number. Compare BenchmarkSimPackedBytes (the legacy byte walk) for
-// the packed speedup, and BenchmarkSimPackedParallel for how it
-// compounds with wave sharding.
+// BenchmarkSimPacked measures an end-to-end PackedToggles run on the
+// serial reference path (Parallel=1): the word-wise per-cycle pipeline
+// with one fresh allocation set per wave. Compare
+// BenchmarkSimPackedBytes (the legacy byte walk) for the packed
+// speedup, and BenchmarkSimPackedParallel for the production path.
 func BenchmarkSimPacked(b *testing.B) { benchSimFidelity(b, PackedToggles, false, 1) }
+
+// BenchmarkSimPackedParallel is the production wave executor
+// (Parallel=0): contiguous wave chunks with per-chunk scratch reuse,
+// one worker per CPU. Expected ordering in BENCH_rtog.json:
+// BenchmarkSimPackedParallel <= BenchmarkSimPacked on any machine —
+// with a single CPU the chunked path still wins by skipping the
+// per-wave synthetic-bank reallocations (roughly half the run's
+// allocations); with more CPUs the wave sharding compounds on top.
+func BenchmarkSimPackedParallel(b *testing.B) { benchSimFidelity(b, PackedToggles, false, 0) }
 
 // BenchmarkSimPackedBytes is the same run on the retained
 // one-byte-per-bit reference engine.
 func BenchmarkSimPackedBytes(b *testing.B) { benchSimFidelity(b, PackedToggles, true, 1) }
-
-// BenchmarkSimPackedParallel is the packed engine with one wave-shard
-// worker per CPU.
-func BenchmarkSimPackedParallel(b *testing.B) { benchSimFidelity(b, PackedToggles, false, 0) }
 
 // BenchmarkSimAnalytic is the closed-form default engine, for scale.
 func BenchmarkSimAnalytic(b *testing.B) { benchSimFidelity(b, AnalyticToggles, false, 1) }

@@ -27,12 +27,16 @@ type groupRun struct {
 }
 
 // runWave simulates one scheduled wave for opt.CyclesPerWave cycles.
-func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, power vf.PowerModel, opt Options, rng *xrand.RNG, trace bool) waveResult {
+// scratch, when non-nil, supplies a chunk worker's reusable buffers
+// (see waveScratch); nil keeps the historical allocate-per-wave
+// reference behaviour.
+func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, power vf.PowerModel, opt Options, rng *xrand.RNG, trace bool, scratch *waveScratch) waveResult {
+	scratch.nextWave()
 	tasks := w.Tasks
 	numOps := len(w.Plans)
 
 	// Build group states from the wave's mapping.
-	groups := make([]*groupRun, cfg.Groups)
+	groups, engines := scratch.groupSlices(cfg.Groups)
 	groupHRs := w.Map.GroupHRs(tasks)
 	groupsWithOp := make([][]int, numOps) // op → groups hosting it
 	for g := 0; g < cfg.Groups; g++ {
@@ -97,18 +101,18 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 	// packed-bank engine. Construction draws from the wave RNG in group
 	// then occupied-task order, so results stay deterministic under
 	// wave sharding.
-	var engines []*groupToggles
-	if opt.Fidelity == PackedToggles {
-		engines = make([]*groupToggles, cfg.Groups)
+	if opt.Fidelity != PackedToggles {
+		engines = nil
+	} else {
 		for g, gr := range groups {
 			if gr == nil {
 				continue
 			}
-			taskHRs := make([]float64, len(gr.occupied))
+			taskHRs := scratch.taskHRBuf(len(gr.occupied))
 			for i, ti := range gr.occupied {
 				taskHRs[i] = tasks[ti].HR
 			}
-			engines[g] = newGroupToggles(cfg, taskHRs, rng, opt.bytesReference)
+			engines[g] = newGroupToggles(cfg, taskHRs, rng, opt.bytesReference, scratch)
 		}
 	}
 
@@ -118,11 +122,11 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 		res.currentTrace = make([]float64, 0, opt.CyclesPerWave)
 		res.voltageTrace = make([]float64, 0, opt.CyclesPerWave)
 	}
-	opStall := make([]int, numOps)
+	opStall := scratch.intSlice(numOps)
 	opFailedNow := make([]bool, numOps)
-	opUseful := make([]int64, numOps)
-	opFreqSum := make([]float64, numOps)
-	opTasks := make([]int, numOps)
+	opUseful := scratch.int64Slice(numOps)
+	opFreqSum := scratch.floatSlice(numOps)
+	opTasks := scratch.intSlice(numOps)
 	for _, t := range tasks {
 		opTasks[t.OpID]++
 	}

@@ -144,17 +144,28 @@ type Table struct {
 	Voltages []float64
 	Freqs    []float64
 	Model    irdrop.Model
+	// pairs caches PairFor's answer per valid level and mode — the
+	// simulator's wave loop asks on every IR-Booster level adjustment,
+	// and recomputing walks the whole grid with a math.Pow per voltage
+	// point (and allocated a pairs slice per call). NewTable fills the
+	// cache; hand-built Tables fall back to the walk.
+	pairs map[Level][2]Pair
 }
 
 // NewTable builds the default 5×5 grid used by the 7nm chip: the
 // paper's sensitivity analysis (§5.5.1) found 4×4 grids lose >8%
 // mitigation capability while >5×5 raises hardware cost unacceptably.
 func NewTable(m irdrop.Model) *Table {
-	return &Table{
+	t := &Table{
 		Voltages: []float64{0.60, 0.65, 0.70, 0.75, 0.80},
 		Freqs:    []float64{0.8, 0.9, 1.0, 1.1, 1.2},
 		Model:    m,
 	}
+	t.pairs = make(map[Level][2]Pair, len(Levels()))
+	for _, l := range Levels() {
+		t.pairs[l] = [2]Pair{Sprint: t.Sprint(l), LowPower: t.LowPower(l)}
+	}
+	return t
 }
 
 // FMaxGHz returns the maximum safe clock at supply v under the
@@ -245,8 +256,15 @@ func (m Mode) String() string {
 	return "sprint"
 }
 
-// PairFor dispatches on mode.
+// PairFor dispatches on mode, answering from the precomputed cache
+// when the table was built by NewTable.
 func (t *Table) PairFor(l Level, m Mode) Pair {
+	if p, ok := t.pairs[l]; ok {
+		if m == LowPower {
+			return p[LowPower]
+		}
+		return p[Sprint]
+	}
 	if m == LowPower {
 		return t.LowPower(l)
 	}
