@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn lint ci
+.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn bench-serve lint ci
 
 all: build
 
@@ -77,6 +77,21 @@ bench-pdn:
 	@$(bench_json) BENCH_pdn.txt > BENCH_pdn.json
 	@rm -f BENCH_pdn.txt
 	@cat BENCH_pdn.json
+
+# Serving-runtime trajectory: cold compile (what every one-shot
+# aim.Run pays), the same request answered from a warm plan cache, and
+# the batched steady-state throughput of the mixed list — emitted as
+# BENCH_serve.json beside the Rtog and PDN series. The acceptance bar:
+# BenchmarkServeColdCompile at least 5x over BenchmarkServeCachedRequest.
+bench-serve:
+	@rm -f BENCH_serve.txt
+	for i in 1 2 3; do \
+		$(GO) test -run '^$$' -bench 'BenchmarkServe(ColdCompile|CachedRequest)$$' -benchtime 5x ./internal/serve >> BENCH_serve.txt || exit 1; \
+		$(GO) test -run '^$$' -bench 'BenchmarkServeBatchedThroughput$$' -benchtime 3x ./internal/serve >> BENCH_serve.txt || exit 1; \
+	done
+	@$(bench_json) BENCH_serve.txt > BENCH_serve.json
+	@rm -f BENCH_serve.txt
+	@cat BENCH_serve.json
 
 lint: vet fmt-check
 

@@ -33,9 +33,12 @@ func (m Mode) internal() (vf.Mode, error) {
 }
 
 // Networks lists the workloads of the evaluation zoo.
-func Networks() []string {
-	return []string{"resnet18", "mobilenetv2", "yolov5", "vit", "llama3", "gpt2"}
-}
+func Networks() []string { return model.Names() }
+
+// DisableWDS, set as Config.WDSDelta, runs the pipeline with the WDS
+// pass switched off (LHR and mapping still apply). The zero value of
+// WDSDelta means "default δ", so disabling needs an explicit sentinel.
+const DisableWDS = core.DisableWDS
 
 // Config selects a workload and an AIM deployment.
 type Config struct {
@@ -45,8 +48,11 @@ type Config struct {
 	Mode Mode
 	// Beta is IR-Booster's stability horizon β (default 50).
 	Beta int
-	// WDSDelta is the weight-distribution-shift δ (default 16; must be
-	// a power of two).
+	// Bits is the quantization width (default 8, range 2..16).
+	Bits int
+	// WDSDelta is the weight-distribution-shift δ: 0 means the default
+	// 16, DisableWDS switches the pass off, anything else must be a
+	// power of two.
 	WDSDelta int
 	// Seed drives every stochastic component (default 1).
 	Seed int64
@@ -99,6 +105,17 @@ func Run(cfg Config) (Result, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	// Validate the compile knobs up front: invalid input must surface
+	// as an error (via quant.IsPow2 inside ResolveWDSDelta), never as
+	// a panic out of the compiler — a serving daemon cannot tolerate
+	// the latter.
+	delta, err := core.ResolveWDSDelta(cfg.WDSDelta)
+	if err != nil {
+		return Result{}, fmt.Errorf("aim: %w", err)
+	}
+	if cfg.Bits != 0 && (cfg.Bits < 2 || cfg.Bits > 16) {
+		return Result{}, fmt.Errorf("aim: bits %d out of range [2,16]", cfg.Bits)
+	}
 	net, err := model.ByName(cfg.Network, 2025)
 	if err != nil {
 		return Result{}, err
@@ -106,20 +123,27 @@ func Run(cfg Config) (Result, error) {
 	p := core.NewPipeline(mode)
 	p.Seed = seed
 	p.Parallel = cfg.Parallel
+	p.WDSDelta = delta
 	if cfg.Beta > 0 {
 		p.Beta = cfg.Beta
 	}
-	if cfg.WDSDelta > 0 {
-		p.WDSDelta = cfg.WDSDelta
+	if cfg.Bits > 0 {
+		p.Bits = cfg.Bits
 	}
-	rep := p.Run(net)
-	modeName := cfg.Mode
-	if modeName == "" {
-		modeName = LowPower
+	return resultFrom(p.Run(net), cfg.Mode), nil
+}
+
+// resultFrom flattens a core report into the public Result. It is the
+// single conversion both the one-shot Run path and the serving runtime
+// use, so a served request answers with exactly what a cold Run
+// returns.
+func resultFrom(rep core.Report, mode Mode) Result {
+	if mode == "" {
+		mode = LowPower
 	}
 	return Result{
-		Network:         net.Name,
-		Mode:            modeName,
+		Network:         rep.Net.Name,
+		Mode:            mode,
 		HRBaseline:      rep.Baseline.HR.Average,
 		HROptimized:     rep.AIM.HR.Average,
 		MitigationPct:   100 * rep.Mitigation(),
@@ -132,7 +156,7 @@ func Run(cfg Config) (Result, error) {
 		Quality:         rep.AIM.Quality,
 		Failures:        rep.AIM.Result.Failures,
 		DelayFactor:     rep.AIM.Result.DelayFactor,
-	}, nil
+	}
 }
 
 // ExperimentIDs lists the reproducible tables and figures of the

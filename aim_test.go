@@ -3,9 +3,13 @@ package aim
 import (
 	"context"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
+	"aim/internal/core"
+	"aim/internal/model"
+	"aim/internal/vf"
 	"aim/internal/xrand"
 )
 
@@ -177,6 +181,130 @@ func TestCorrectionMatchesArithmetic(t *testing.T) {
 func TestHRKnown(t *testing.T) {
 	if got := HR([]int32{0, -1}, 8); math.Abs(got-0.5) > 1e-12 {
 		t.Errorf("HR = %v, want 0.5", got)
+	}
+}
+
+func TestRunRejectsInvalidDelta(t *testing.T) {
+	// Regression: a non-power-of-two δ used to escape into
+	// compiler.Compile and panic; it must surface as an error.
+	if _, err := Run(Config{Network: "resnet18", WDSDelta: 12}); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Errorf("WDSDelta 12: err = %v, want power-of-two error", err)
+	}
+	if _, err := Run(Config{Network: "resnet18", WDSDelta: -3}); err == nil {
+		t.Error("WDSDelta -3 must error")
+	}
+	if _, err := Run(Config{Network: "resnet18", Bits: 40}); err == nil {
+		t.Error("Bits 40 must error")
+	}
+}
+
+func TestDisableWDSMatchesLHRStage(t *testing.T) {
+	res, err := Run(Config{Network: "resnet18", WDSDelta: DisableWDS, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With WDS off the deployed Hamming rate is the LHR-only one: the
+	// +LHR ablation stage's compiled stats (HR does not depend on the
+	// mapping strategy).
+	net, err := model.ByName("resnet18", 2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhr := core.NewPipeline(vf.LowPower).CompileStage(net, core.StageLHR)
+	if res.HROptimized != lhr.Stats.Average {
+		t.Errorf("disabled-WDS HR = %v, want the +LHR stage's %v", res.HROptimized, lhr.Stats.Average)
+	}
+	withWDS, err := Run(Config{Network: "resnet18", Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HROptimized <= withWDS.HROptimized {
+		t.Errorf("disabling WDS must raise HR: disabled %v vs default %v", res.HROptimized, withWDS.HROptimized)
+	}
+}
+
+func TestServerMatchesRun(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 2})
+	defer srv.Close()
+	cfg := Config{Network: "resnet18", Mode: LowPower}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Submit(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("served result diverges from cold Run:\n  served=%+v\n  cold=%+v", got, want)
+	}
+	// Repeats answer from the plan cache with the identical Result.
+	again, err := srv.Submit(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != want {
+		t.Error("cached request diverges from cold Run")
+	}
+	if st := srv.Stats(); st.Compiles != 1 || st.Requests != 2 {
+		t.Errorf("stats = %+v, want 1 compile over 2 requests", st)
+	}
+	if srv.Metrics().P50 <= 0 {
+		t.Error("latency percentiles missing")
+	}
+}
+
+func TestServeListDeterministicAcrossWorkers(t *testing.T) {
+	cfgs := []Config{
+		{Network: "resnet18", Mode: LowPower},
+		{Network: "resnet18", Mode: Sprint},
+		{Network: "resnet18", Mode: LowPower, WDSDelta: DisableWDS},
+		{Network: "resnet18", Mode: LowPower},
+	}
+	var first []Result
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		srv := NewServer(ServerOptions{Workers: workers})
+		got, err := srv.ServeList(context.Background(), cfgs)
+		srv.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == nil {
+			first = got
+			continue
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Errorf("workers=%d: result %d diverges from workers=1", workers, i)
+			}
+		}
+	}
+}
+
+func TestServerSubmitErrors(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 1})
+	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18", Mode: "turbo"}); err == nil {
+		t.Error("unknown mode must error")
+	}
+	if _, err := srv.Submit(context.Background(), Config{Network: "alexnet"}); err == nil {
+		t.Error("unknown network must error")
+	}
+	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18", WDSDelta: 12}); err == nil {
+		t.Error("non-pow2 delta must error")
+	}
+	srv.Close()
+	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18"}); err == nil {
+		t.Error("closed server must error")
+	}
+}
+
+func TestTokensPerSecMethods(t *testing.T) {
+	r := Result{TOPS: 256, MacroPowerMW: 17.5}
+	if r.TokensPerSec() != 17.5 {
+		t.Errorf("TokensPerSec = %v, want 17.5", r.TokensPerSec())
+	}
+	if r.EnergyPerTokenMJ() != 1 {
+		t.Errorf("EnergyPerTokenMJ = %v, want 1", r.EnergyPerTokenMJ())
 	}
 }
 

@@ -30,7 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	net := fs.String("net", "resnet18", "workload: "+strings.Join(aim.Networks(), "|"))
 	mode := fs.String("mode", "low-power", "operating mode: sprint|low-power")
 	beta := fs.Int("beta", 50, "IR-Booster stability horizon β (cycles)")
-	delta := fs.Int("delta", 16, "WDS shift δ (power of two)")
+	delta := fs.Int("delta", 16, "WDS shift δ (power of two; -1 disables WDS)")
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "simulator worker pool: 0 = one per CPU, 1 = serial")
 	if err := fs.Parse(args); err != nil {

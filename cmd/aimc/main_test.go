@@ -58,6 +58,10 @@ func TestErrorPaths(t *testing.T) {
 	}{
 		{"unknown network", []string{"-net", "alexnet"}, "unknown network"},
 		{"unknown mode", []string{"-mode", "turbo"}, "unknown mode"},
+		// Regression: -delta 12 used to crash with a compiler panic;
+		// it must exit 1 with a clear error instead.
+		{"non-pow2 delta", []string{"-delta", "12"}, "power of two"},
+		{"negative delta", []string{"-delta", "-3"}, "power of two"},
 	}
 	for _, c := range cases {
 		var stdout, stderr strings.Builder

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"aim/internal/vf"
+)
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		name    string
+		mix     string
+		wantLen int
+		wantErr bool
+	}{
+		{name: "zoo", mix: "zoo", wantLen: 12},
+		{name: "llm", mix: "llm", wantLen: 4},
+		{name: "vision", mix: "vision", wantLen: 8},
+		{name: "explicit pair", mix: "resnet18:sprint", wantLen: 1},
+		{name: "explicit list", mix: "resnet18:sprint,gpt2:low-power", wantLen: 2},
+		{name: "missing mode", mix: "resnet18", wantErr: true},
+		{name: "bad mode", mix: "resnet18:turbo", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := parseMix(c.mix)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error", c.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(got) != c.wantLen {
+			t.Errorf("%s: %d scenarios, want %d", c.name, len(got), c.wantLen)
+		}
+	}
+	pair, _ := parseMix("resnet18:sprint")
+	if pair[0] != (scenario{net: "resnet18", mode: vf.Sprint}) {
+		t.Errorf("explicit pair parsed as %+v", pair[0])
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "Usage of aimserve") {
+		t.Errorf("usage missing: %q", stderr.String())
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"bad mix", []string{"-mix", "nosuchmix"}, 2},
+		{"zero requests", []string{"-n", "0"}, 2},
+		{"unknown network in mix", []string{"-mix", "alexnet:sprint", "-n", "1"}, 1},
+		{"non-pow2 delta", []string{"-mix", "resnet18:low-power", "-n", "1", "-delta", "12"}, 1},
+	}
+	for _, c := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(c.args, &stdout, &stderr); code != c.code {
+			t.Errorf("%s: exit = %d, want %d (stderr %q)", c.name, code, c.code, stderr.String())
+		}
+	}
+}
+
+func TestEndToEndServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving run")
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-n", "4", "-mix", "resnet18:low-power,resnet18:sprint", "-workers", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"== AIM serving: 4 requests",
+		"tok/s", "aggregate: 4 requests",
+		"plan cache:", "batching:", "latency:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEndToEndPoissonPacing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving run")
+	}
+	// A high rate keeps the pacing fast while still exercising the
+	// arrival-schedule path.
+	var stdout, stderr strings.Builder
+	code := run([]string{"-n", "3", "-mix", "resnet18:low-power", "-rate", "50"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "aggregate: 3 requests") {
+		t.Errorf("output missing aggregate:\n%s", stdout.String())
+	}
+}

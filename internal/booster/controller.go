@@ -79,6 +79,23 @@ func (c *Controller) tolerated(l vf.Level) float64 {
 	return c.Model.Estimate(l.Rtog()) + c.GuardSigma*c.Model.NoiseMV
 }
 
+// setLevel returns the level of set s's minimum-frequency hosting
+// group — the set's synchronized frequency in level terms. Frequency
+// ties break toward the earlier group, keeping the answer
+// deterministic.
+func (c *Controller) setLevel(s int) vf.Level {
+	var target vf.Level
+	f := -1.0
+	for _, g := range c.groupsOf[s] {
+		gs := c.groups[g]
+		if f < 0 || gs.Pair.FreqGHz < f {
+			f = gs.Pair.FreqGHz
+			target = gs.Level
+		}
+	}
+	return target
+}
+
 // Group returns group g's state.
 func (c *Controller) Group(g int) *GroupState { return c.groups[g] }
 
@@ -125,17 +142,42 @@ func (c *Controller) Step(observedDropMV []float64) CycleResult {
 			changed[g] = true
 		}
 	}
-	// Frequency synchronization (Algorithm 2 lines 11-13): peers of a
-	// set whose member changed frequency observe the sync event.
-	for g := range c.groups {
-		if !changed[g] {
+	// Frequency synchronization (Algorithm 2 lines 11-13): when a
+	// member of a set changes its operating point, its peers adopt the
+	// set's synchronized frequency — the minimum-frequency level among
+	// the set's hosting groups (line 12, L ← L_set) — so the set's
+	// macros stay frequency-consistent. A sync point that turns out
+	// too aggressive for a peer self-corrects through the normal
+	// IRFailure path: its monitor is re-armed for the new level here.
+	// A peer whose level moves is itself marked changed, so the sweep
+	// propagates through groups shared between sets; sets earlier in
+	// id order than such a late move pick it up next cycle. Each sync
+	// adopts the level of an already-slower member, so frequencies
+	// only ratchet down within the pass and the sweep cannot cascade
+	// unboundedly.
+	for s, members := range c.groupsOf {
+		memberChanged := false
+		for _, g := range members {
+			if changed[g] {
+				memberChanged = true
+				break
+			}
+		}
+		if !memberChanged {
 			continue
 		}
-		for _, s := range c.setsOf[g] {
-			for _, og := range c.groupsOf[s] {
-				if og != g {
-					c.groups[og].Adjuster.Step(false, true, c.groups[og].Level)
-				}
+		target := c.setLevel(s)
+		for _, og := range members {
+			if changed[og] {
+				continue // the trigger keeps its adjusted level
+			}
+			gs := c.groups[og]
+			gs.Adjuster.Step(false, true, target)
+			if target != gs.Level {
+				gs.Level = target
+				gs.Pair = c.Table.PairFor(target, c.Mode)
+				gs.Monitor.SetToleratedDrop(c.tolerated(target))
+				changed[og] = true
 			}
 		}
 	}

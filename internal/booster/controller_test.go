@@ -88,6 +88,80 @@ func TestControllerSetFrequencySync(t *testing.T) {
 	}
 }
 
+// TestControllerFreqSyncMovesPeers pins Algorithm 2 line 12: a level
+// change inside a MacroSet must move the *peers* to the set's
+// synchronized (minimum-frequency) level, not merely reset their
+// counters. Three groups: set 0 spans groups 0+1, set 1 spans 1+2.
+func TestControllerFreqSyncMovesPeers(t *testing.T) {
+	m := irdrop.DPIMModel()
+	table := vf.NewTable(m)
+	newC := func() *Controller {
+		return NewController(table, vf.LowPower, m, 50,
+			[]vf.Level{30, 50, 50}, [][]int{{0}, {0, 1}, {1}})
+	}
+	cases := []struct {
+		name  string
+		drops [][]float64 // one Step per row
+		want  [][]vf.Level
+	}{
+		{
+			name:  "quiet cycles never sync",
+			drops: [][]float64{{5, 5, 5}, {5, 5, 5}},
+			want:  [][]vf.Level{{25, 35, 35}, {25, 35, 35}},
+		},
+		{
+			// Group 0's failure snaps it to safe 30; set 0's peer
+			// (group 1) must adopt the set's min-frequency level, and
+			// because group 1 is shared with set 1 the move propagates
+			// there too: group 2 syncs in the same pass.
+			name:  "failure syncs set peer and propagates through shared group",
+			drops: [][]float64{{120, 5, 5}, {5, 5, 5}},
+			want:  [][]vf.Level{{30, 30, 30}, {30, 30, 30}},
+		},
+		{
+			// Every group fails at once: all are triggers, none are
+			// peers, each holds its own safe level; a repeated failure
+			// at an unchanged level must not re-trigger a sync.
+			name:  "simultaneous failures leave no peers to sync",
+			drops: [][]float64{{130, 130, 130}, {120, 5, 5}},
+			want:  [][]vf.Level{{30, 50, 50}, {30, 50, 50}},
+		},
+	}
+	for _, tc := range cases {
+		c := newC()
+		for step, drops := range tc.drops {
+			res := c.Step(drops)
+			for g, want := range tc.want[step] {
+				if got := c.Group(g).Level; got != want {
+					t.Errorf("%s, step %d: group %d level = %v, want %v", tc.name, step, g, got, want)
+				}
+			}
+			// Set-frequency consistency: each set's reported frequency
+			// is the min over members, and every member the controller
+			// synced runs a pair at that frequency when the set had a
+			// single trigger.
+			for s, members := range [][]int{{0, 1}, {1, 2}} {
+				f := -1.0
+				for _, g := range members {
+					if fg := c.Group(g).Pair.FreqGHz; f < 0 || fg < f {
+						f = fg
+					}
+				}
+				if res.SetFreqGHz[s] != f {
+					t.Errorf("%s, step %d: set %d freq = %v, want min %v", tc.name, step, s, res.SetFreqGHz[s], f)
+				}
+			}
+		}
+	}
+	// The synced peer's operating point follows the level move: group 1
+	// must end on the level-30 pair, not its old level-35 pair.
+	c := newC()
+	c.Step([]float64{120, 5, 5})
+	if got, want := c.Group(1).Pair, table.PairFor(30, vf.LowPower); got != want {
+		t.Errorf("synced peer pair = %v, want %v", got, want)
+	}
+}
+
 func TestControllerPromotesWhenQuiet(t *testing.T) {
 	c := newTestController(10)
 	start := c.Group(0).Level

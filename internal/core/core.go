@@ -11,6 +11,7 @@ import (
 	"aim/internal/compiler"
 	"aim/internal/model"
 	"aim/internal/pim"
+	"aim/internal/quant"
 	"aim/internal/sim"
 	"aim/internal/vf"
 )
@@ -53,24 +54,58 @@ func (s Stage) String() string {
 // Stages lists the ablation ladder in order.
 func Stages() []Stage { return []Stage{StageBaseline, StageLHR, StageWDS, StageBooster} }
 
+// WDS δ conventions shared by the public API and the serving runtime:
+// a zero Config field means "default", so an explicit sentinel is
+// needed to switch WDS off.
+const (
+	// DefaultWDSDelta is the δ the pipeline applies when the caller
+	// leaves the knob at zero (the paper's ablation configuration).
+	DefaultWDSDelta = 16
+	// DisableWDS is the sentinel callers pass to run LHR without the
+	// distribution shift (compiler semantics: δ=0 disables WDS).
+	DisableWDS = -1
+)
+
+// ResolveWDSDelta canonicalizes a user-facing δ: 0 selects
+// DefaultWDSDelta, DisableWDS (-1) selects 0 (WDS off), and any other
+// value must be a power of two. It returns the δ to hand the compiler.
+func ResolveWDSDelta(d int) (int, error) {
+	switch {
+	case d == DisableWDS:
+		return 0, nil
+	case d == 0:
+		return DefaultWDSDelta, nil
+	case d < 0 || !quant.IsPow2(d):
+		return 0, fmt.Errorf("WDS delta %d is not a power of two (use %d to disable WDS)", d, DisableWDS)
+	default:
+		return d, nil
+	}
+}
+
 // Pipeline is a configured AIM deployment.
 type Pipeline struct {
 	Chip pim.Config
 	Mode vf.Mode
 	Beta int
+	// Bits is the quantization width (default 8).
+	Bits int
 	// WDSDelta is the δ used by the WDS stage (default 16 to match the
-	// paper's ablation configuration).
+	// paper's ablation configuration; 0 disables WDS).
 	WDSDelta int
 	Seed     int64
 	// Parallel bounds the simulator's wave-sharding pool (0 = one
 	// worker per CPU, 1 = serial); results are identical either way.
 	Parallel int
+	// Warm, when non-nil, lets the simulator reuse its per-worker
+	// scratch across Execute calls — the serving runtime's warm
+	// simulator state. Results are bit-identical with or without it.
+	Warm *sim.WarmState
 }
 
 // NewPipeline returns the reference deployment: the 7nm 256-TOPS chip,
 // β=50, δ=16.
 func NewPipeline(mode vf.Mode) *Pipeline {
-	return &Pipeline{Chip: pim.DefaultConfig(), Mode: mode, Beta: 50, WDSDelta: 16, Seed: 1}
+	return &Pipeline{Chip: pim.DefaultConfig(), Mode: mode, Beta: 50, Bits: 8, WDSDelta: DefaultWDSDelta, Seed: 1}
 }
 
 // CompilerOptions derives the offline configuration for a stage.
@@ -78,6 +113,9 @@ func (p *Pipeline) CompilerOptions(s Stage) compiler.Options {
 	opt := compiler.BaselineOptions()
 	opt.Mode = p.Mode
 	opt.Seed = p.Seed
+	if p.Bits > 0 {
+		opt.Bits = p.Bits
+	}
 	switch s {
 	case StageBaseline:
 	case StageLHR:
@@ -99,6 +137,7 @@ func (p *Pipeline) SimOptions(s Stage, transformer bool) sim.Options {
 	opt.Beta = p.Beta
 	opt.Seed = p.Seed
 	opt.Parallel = p.Parallel
+	opt.Warm = p.Warm
 	switch s {
 	case StageBaseline:
 		opt.UseBooster = false
@@ -122,11 +161,56 @@ type StageResult struct {
 	Compiled *compiler.Compiled
 }
 
+// CompileStage runs the offline pipeline (LHR + WDS + mapping) for one
+// stage without executing it.
+func (p *Pipeline) CompileStage(net *model.Network, s Stage) *compiler.Compiled {
+	return compiler.Compile(net, p.Chip, p.CompilerOptions(s))
+}
+
+// ExecuteStage runs a previously compiled artifact on the simulated
+// chip. The artifact is read-only during execution, so one Compiled
+// may be executed concurrently by many pipelines.
+func (p *Pipeline) ExecuteStage(c *compiler.Compiled, s Stage) StageResult {
+	res := sim.Run(c, p.Chip, p.SimOptions(s, c.Net.Transformer))
+	return StageResult{Stage: s, HR: c.Stats, Result: res, Quality: c.Quality(), Compiled: c}
+}
+
 // RunStage compiles and executes a network at the given stage.
 func (p *Pipeline) RunStage(net *model.Network, s Stage) StageResult {
-	c := compiler.Compile(net, p.Chip, p.CompilerOptions(s))
-	res := sim.Run(c, p.Chip, p.SimOptions(s, net.Transformer))
-	return StageResult{Stage: s, HR: c.Stats, Result: res, Quality: c.Quality(), Compiled: c}
+	return p.ExecuteStage(p.CompileStage(net, s), s)
+}
+
+// Plan is the offline half of a Run: both rungs of the before/after
+// comparison compiled once and reusable across Execute calls — the
+// unit the serving runtime caches. A Plan freezes everything the
+// compiler consumed (network, mode, bits, δ, seed); runtime knobs
+// (β, worker count, warm state) stay on the executing Pipeline.
+type Plan struct {
+	Net      *model.Network
+	Baseline *compiler.Compiled
+	AIM      *compiler.Compiled
+}
+
+// Compile runs the offline pipeline for the full before/after
+// comparison and returns the reusable Plan.
+func (p *Pipeline) Compile(net *model.Network) *Plan {
+	return &Plan{
+		Net:      net,
+		Baseline: p.CompileStage(net, StageBaseline),
+		AIM:      p.CompileStage(net, StageBooster),
+	}
+}
+
+// Execute runs a compiled Plan on the simulated chip. For a fixed seed
+// Execute(Compile(net)) is identical to Run(net) field for field, and
+// repeated Execute calls on one Plan return identical Reports.
+func (p *Pipeline) Execute(plan *Plan) Report {
+	return Report{
+		Net:      plan.Net,
+		Mode:     p.Mode,
+		Baseline: p.ExecuteStage(plan.Baseline, StageBaseline),
+		AIM:      p.ExecuteStage(plan.AIM, StageBooster),
+	}
 }
 
 // Report is the end-to-end comparison the paper headlines (§6.6).
@@ -137,14 +221,11 @@ type Report struct {
 	AIM      StageResult
 }
 
-// Run executes the full before/after comparison for a network.
+// Run executes the full before/after comparison for a network: the
+// one-shot composition of the offline Compile phase and the runtime
+// Execute phase.
 func (p *Pipeline) Run(net *model.Network) Report {
-	return Report{
-		Net:      net,
-		Mode:     p.Mode,
-		Baseline: p.RunStage(net, StageBaseline),
-		AIM:      p.RunStage(net, StageBooster),
-	}
+	return p.Execute(p.Compile(net))
 }
 
 // EfficiencyGain is the energy-efficiency (throughput per watt)

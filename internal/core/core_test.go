@@ -1,9 +1,12 @@
 package core
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"aim/internal/model"
+	"aim/internal/sim"
 	"aim/internal/vf"
 )
 
@@ -76,5 +79,101 @@ func TestQualityPreserved(t *testing.T) {
 	full := p.RunStage(net, StageWDS)
 	if base.Quality-full.Quality > 1.0 {
 		t.Errorf("quality dropped too much: %.2f -> %.2f", base.Quality, full.Quality)
+	}
+}
+
+// TestCompileExecuteMatchesRun pins the compile-once split: the
+// two-phase path must be field-identical to the historical one-shot
+// Run, and repeated Execute calls on one Plan must not drift.
+func TestCompileExecuteMatchesRun(t *testing.T) {
+	p := NewPipeline(vf.LowPower)
+	net := model.ResNet18(seed)
+	want := p.Run(net)
+	plan := p.Compile(net)
+	for round := 0; round < 2; round++ {
+		got := p.Execute(plan)
+		if !reflect.DeepEqual(got.AIM.Result, want.AIM.Result) ||
+			!reflect.DeepEqual(got.Baseline.Result, want.Baseline.Result) ||
+			!reflect.DeepEqual(got.AIM.HR, want.AIM.HR) ||
+			got.AIM.Quality != want.AIM.Quality {
+			t.Fatalf("Execute round %d diverges from Run", round)
+		}
+	}
+}
+
+// TestExecuteSharedPlanConcurrently proves a cached Plan is read-only
+// under execution: many pipelines executing one Plan concurrently (as
+// the serving runtime does) all match the serial reference. Run with
+// -race this also proves the absence of data races.
+func TestExecuteSharedPlanConcurrently(t *testing.T) {
+	p := NewPipeline(vf.LowPower)
+	net := model.ResNet18(seed)
+	plan := p.Compile(net)
+	want := p.Execute(plan)
+	warm := sim.NewWarmState()
+	var wg sync.WaitGroup
+	errs := make([]bool, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := NewPipeline(vf.LowPower)
+			q.Warm = warm
+			got := q.Execute(plan)
+			errs[i] = !reflect.DeepEqual(got.AIM.Result, want.AIM.Result)
+		}(i)
+	}
+	wg.Wait()
+	for i, bad := range errs {
+		if bad {
+			t.Errorf("concurrent Execute %d diverged from serial reference", i)
+		}
+	}
+}
+
+func TestResolveWDSDelta(t *testing.T) {
+	cases := []struct {
+		in      int
+		want    int
+		wantErr bool
+	}{
+		{in: 0, want: DefaultWDSDelta},
+		{in: DisableWDS, want: 0},
+		{in: 8, want: 8},
+		{in: 16, want: 16},
+		{in: 12, wantErr: true},
+		{in: -2, wantErr: true},
+		{in: 3, wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ResolveWDSDelta(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ResolveWDSDelta(%d): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ResolveWDSDelta(%d) = %d, %v, want %d", c.in, got, err, c.want)
+		}
+	}
+}
+
+// TestDisabledWDSSkipsShift pins the δ=0 path end to end: the booster
+// stage compiled with WDS off must deploy the +LHR stage's Hamming
+// rate and record no per-layer shift.
+func TestDisabledWDSSkipsShift(t *testing.T) {
+	p := NewPipeline(vf.LowPower)
+	p.WDSDelta = 0
+	net := model.ResNet18(seed)
+	lhr := p.CompileStage(net, StageLHR)
+	full := p.CompileStage(net, StageBooster)
+	if full.Stats.Average != lhr.Stats.Average {
+		t.Errorf("disabled-WDS HR = %v, want +LHR %v", full.Stats.Average, lhr.Stats.Average)
+	}
+	for _, plan := range full.Plans {
+		if plan.Delta != 0 {
+			t.Fatalf("layer %s still shifted by δ=%d", plan.Layer.Name, plan.Delta)
+		}
 	}
 }

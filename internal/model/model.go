@@ -179,6 +179,23 @@ func All(seed int64) []*Network {
 	}
 }
 
+// Names lists the zoo workloads in the paper's order — the valid
+// arguments to ByName. Cheap: no network is generated.
+func Names() []string {
+	return []string{"resnet18", "mobilenetv2", "yolov5", "vit", "llama3", "gpt2"}
+}
+
+// ValidName reports whether name is a zoo workload without paying for
+// its generation (admission-time validation in the serving runtime).
+func ValidName(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // ByName returns the named network or an error listing valid names.
 func ByName(name string, seed int64) (*Network, error) {
 	switch name {

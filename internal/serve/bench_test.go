@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"aim/internal/vf"
+)
+
+// benchReq is the reference serving point the perf trajectory tracks:
+// the smallest zoo network, low-power mode, default knobs.
+func benchReq() Request { return Request{Network: "resnet18", Mode: vf.LowPower} }
+
+// BenchmarkServeColdCompile is the cost every one-shot aim.Run pays:
+// a fresh server (empty plan cache) compiling and executing one
+// request. The plan-cache acceptance bar compares this against
+// BenchmarkServeCachedRequest (≥ 5× required; see BENCH_serve.json).
+func BenchmarkServeColdCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(Options{Workers: 1})
+		if _, err := s.Submit(context.Background(), benchReq()); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkServeCachedRequest is the amortized serving cost: the same
+// request answered from a warm plan cache, paying only the runtime
+// Execute phase.
+func BenchmarkServeCachedRequest(b *testing.B) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), benchReq()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit(context.Background(), benchReq()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeBatchedThroughput serves the 12-request mixed list
+// (three plans, repeats interleaved) against a warm cache over the
+// full executor pool — the batched steady state of the closed loop.
+func BenchmarkServeBatchedThroughput(b *testing.B) {
+	s := New(Options{})
+	defer s.Close()
+	reqs := mixedList()
+	if _, err := s.ServeList(context.Background(), reqs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ServeList(context.Background(), reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package serve is the compile-once/serve-many runtime (the paper's
+// d-Matrix/Houmo serving scenario, §1/§6.8): a concurrency-safe plan
+// cache keyed by everything the offline compiler consumes, an
+// admission queue with a batch former grouping concurrent requests by
+// plan, and an executor pool running compiled plans over warm
+// simulator state. Repeated requests for one deployment point
+// amortize the expensive offline phase (LHR proximal tuning, WDS,
+// HR-aware mapping SA) to zero; per-request results are identical to a
+// cold one-shot run.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aim/internal/core"
+)
+
+// Key identifies one compiled plan: exactly the inputs the offline
+// phase consumes. Runtime knobs (β, worker counts, warm state) are
+// deliberately absent — they vary per request without recompiling.
+type Key struct {
+	// Network is the zoo workload name.
+	Network string
+	// Mode is the operating policy (its string form keeps the key
+	// printable and comparable).
+	Mode string
+	// Bits is the quantization width.
+	Bits int
+	// Delta is the canonical WDS δ (0 = disabled).
+	Delta int
+	// Seed drives every stochastic component of the compilation.
+	Seed int64
+}
+
+// entry is one singleflight cache slot.
+type entry struct {
+	once sync.Once
+	plan *core.Plan
+	err  error
+}
+
+// Cache is the shared, concurrency-safe plan cache. Lookups for a
+// missing key compile exactly once no matter how many goroutines ask
+// concurrently: late arrivals block on the winner's singleflight entry
+// instead of stampeding the compiler. Failed compilations (unknown
+// network) are cached too — the error is deterministic.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	compiles atomic.Int64
+	hits     atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: make(map[Key]*entry)} }
+
+// Plan returns the plan for k, invoking compile at most once per key
+// across all callers. hit reports whether the key was already present
+// (compiled or in flight) when the call arrived.
+func (c *Cache) Plan(k Key, compile func() (*core.Plan, error)) (plan *core.Plan, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &entry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		e.plan, e.err = compile()
+	})
+	if ok {
+		c.hits.Add(1)
+	}
+	return e.plan, ok, e.err
+}
+
+// Compiles returns how many compilations ran (one per distinct key).
+func (c *Cache) Compiles() int64 { return c.compiles.Load() }
+
+// Hits returns how many lookups found an existing entry.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Len returns the number of cached plans (including in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper motivates AIM with PIM chips serving language models
+// (d-Matrix, Houmo). The Houmo MoMagic30 reference point — ~17.5
+// tokens/s at the chip's nominal 256 TOPS — converts effective
+// throughput into serving terms.
+const (
+	// HoumoTokensPerSec is the reference decoding rate at nominal
+	// throughput.
+	HoumoTokensPerSec = 17.5
+	// nominalTOPS is the chip's sign-off throughput.
+	nominalTOPS = 256
+)
+
+// TokensPerSec scales the Houmo reference point with effective TOPS.
+func TokensPerSec(tops float64) float64 {
+	return HoumoTokensPerSec * tops / nominalTOPS
+}
+
+// EnergyPerTokenMJ is the per-macro energy spent per generated token,
+// in millijoules: average macro power over the token rate.
+func EnergyPerTokenMJ(macroPowerMW, tops float64) float64 {
+	t := TokensPerSec(tops)
+	if t == 0 {
+		return 0
+	}
+	return macroPowerMW / t
+}
+
+// Render produces the deterministic aggregate report for a served
+// request list: identical requests collapse into one scenario row (in
+// first-appearance order), followed by fleet totals. Only fields
+// derived from the deterministic per-request Reports appear — never
+// latencies, cache flags or wall-clock rates — so for a fixed seed and
+// a fixed request list the bytes are identical no matter how many
+// workers served it (the repository's parallelism contract; asserted
+// by TestServeListDeterministicAcrossWorkers).
+func Render(reqs []Request, resps []Response) string {
+	if len(reqs) != len(resps) {
+		panic(fmt.Sprintf("serve: %d requests for %d responses", len(reqs), len(resps)))
+	}
+	type row struct {
+		req   Request
+		count int
+		resp  Response
+	}
+	byReq := make(map[Request]*row)
+	var order []*row
+	for i, r := range reqs {
+		nr, _, err := r.normalize()
+		if err != nil {
+			nr = r
+		}
+		rw := byReq[nr]
+		if rw == nil {
+			rw = &row{req: nr, resp: resps[i]}
+			byReq[nr] = rw
+			order = append(order, rw)
+		}
+		rw.count++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%5s  %-12s %-10s %3s %5s %8s  %11s %10s %8s %7s %8s\n",
+		"reqs", "network", "mode", "δ", "β", "HR", "mitigation", "power(mW)", "TOPS", "tok/s", "mJ/tok")
+	var totTok, totMJ float64
+	var totReqs, totFail int
+	for _, rw := range order {
+		aim := rw.resp.Report.AIM.Result
+		base := rw.resp.Report.Baseline
+		tok := TokensPerSec(aim.TOPS)
+		mj := EnergyPerTokenMJ(aim.AvgMacroPowerMW, aim.TOPS)
+		fmt.Fprintf(&sb, "%5d  %-12s %-10s %3d %5d %4.3f→%.3f %10.1f%% %10.3f %8.0f %7.1f %8.3f\n",
+			rw.count, rw.req.Network, rw.req.Mode, rw.req.Delta, rw.req.Beta,
+			base.HR.Average, rw.resp.Report.AIM.HR.Average,
+			100*rw.resp.Report.Mitigation(), aim.AvgMacroPowerMW, aim.TOPS, tok, mj)
+		totTok += float64(rw.count) * tok
+		totMJ += float64(rw.count) * mj
+		totReqs += rw.count
+		totFail += rw.count * aim.Failures
+	}
+	if totReqs > 0 {
+		fmt.Fprintf(&sb, "aggregate: %d requests, %.1f tok/s mean, %.3f mJ/tok mean, %d IRFailures\n",
+			totReqs, totTok/float64(totReqs), totMJ/float64(totReqs), totFail)
+	}
+	return sb.String()
+}

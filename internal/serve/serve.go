@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"aim/internal/core"
+	"aim/internal/model"
+	"aim/internal/sim"
+	"aim/internal/vf"
+)
+
+// ZooSeed is the fixed seed the evaluation zoo's synthetic weights are
+// generated from (the same reference point aim.Run uses), so one
+// network name always denotes one set of weights.
+const ZooSeed = 2025
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Request selects one serving job: a workload and a deployment point.
+// The zero value of every knob means "default"; Delta follows the
+// public API convention (0 = default δ, core.DisableWDS = WDS off).
+type Request struct {
+	// Network is one of the zoo workloads.
+	Network string
+	// Mode is the operating policy (sprint or low-power).
+	Mode vf.Mode
+	// Beta is IR-Booster's stability horizon in cycles (runtime knob,
+	// default 50; not part of the plan key).
+	Beta int
+	// Bits is the quantization width (default 8, range 2..16).
+	Bits int
+	// Delta is the WDS δ: 0 means the default 16, core.DisableWDS
+	// disables the pass, anything else must be a power of two.
+	Delta int
+	// Seed drives every stochastic component (default 1).
+	Seed int64
+	// Parallel bounds the per-request wave-sharding pool (default 1:
+	// a serving fleet gets its parallelism from concurrent requests,
+	// not intra-request sharding). Results are bit-identical for any
+	// value.
+	Parallel int
+}
+
+// normalize applies defaults, validates the compile-relevant knobs and
+// derives the plan key. The returned Request has canonical fields
+// (Delta is the actual δ, 0 = disabled).
+func (r Request) normalize() (Request, Key, error) {
+	// Reject unknown networks at admission: a daemon fed arbitrary
+	// names must not grow one negative plan-cache entry per typo.
+	if !model.ValidName(r.Network) {
+		return r, Key{}, fmt.Errorf("serve: unknown network %q (want one of %v)", r.Network, model.Names())
+	}
+	if r.Mode != vf.Sprint && r.Mode != vf.LowPower {
+		return r, Key{}, fmt.Errorf("serve: unknown mode %d", int(r.Mode))
+	}
+	if r.Beta <= 0 {
+		r.Beta = 50
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Bits == 0 {
+		r.Bits = 8
+	}
+	if r.Bits < 2 || r.Bits > 16 {
+		return r, Key{}, fmt.Errorf("serve: bits %d out of range [2,16]", r.Bits)
+	}
+	if r.Parallel == 0 {
+		r.Parallel = 1
+	}
+	d, err := core.ResolveWDSDelta(r.Delta)
+	if err != nil {
+		return r, Key{}, fmt.Errorf("serve: %w", err)
+	}
+	r.Delta = d
+	key := Key{Network: r.Network, Mode: r.Mode.String(), Bits: r.Bits, Delta: d, Seed: r.Seed}
+	return r, key, nil
+}
+
+// Response answers one request.
+type Response struct {
+	// Report is the full before/after comparison. For a fixed request
+	// it is deterministic: identical to what a cold one-shot run
+	// returns, no matter how the server batched or parallelized.
+	Report core.Report
+	// PlanCached reports whether the plan already existed when the
+	// request's batch executed (scheduling-dependent; excluded from
+	// the deterministic aggregate report).
+	PlanCached bool
+	// Latency is admission-to-answer wall time (non-deterministic).
+	Latency time.Duration
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the executor pool size (default GOMAXPROCS): how many
+	// plan batches run concurrently.
+	Workers int
+	// MaxBatch bounds how many queued requests the batch former drains
+	// into one admission round (default 64).
+	MaxBatch int
+	// Queue is the admission queue depth (default 256).
+	Queue int
+}
+
+// pending is one admitted request waiting for its answer.
+type pending struct {
+	req   Request
+	key   Key
+	reply chan answer
+	enq   time.Time
+}
+
+type answer struct {
+	resp Response
+	err  error
+}
+
+// batch is one plan's worth of an admission round.
+type batch struct {
+	key  Key
+	reqs []*pending
+}
+
+// Server is the compile-once serving runtime: Submit admits a request
+// into the queue, the batch former groups concurrent admissions by
+// plan key, and the executor pool runs each batch against the shared
+// plan cache, reusing warm simulator state between requests.
+type Server struct {
+	opt   Options
+	cache *Cache
+	warm  *sim.WarmState
+	admit chan *pending
+	exec  chan *batch
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	requests int64
+	batches  int64
+	batched  int64
+	// latencies is a bounded ring of the most recent answers — a
+	// long-lived daemon must not retain one sample per request
+	// forever. latHead is the next write slot once the ring is full.
+	latencies []time.Duration
+	latHead   int
+	started   time.Time
+}
+
+// latencyWindow bounds the percentile ring: large enough that p99 is
+// meaningful, small enough that a daemon's memory stays flat.
+const latencyWindow = 4096
+
+// New starts a server and its goroutines; callers must Close it.
+func New(opt Options) *Server {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 64
+	}
+	if opt.Queue <= 0 {
+		opt.Queue = 256
+	}
+	s := &Server{
+		opt:     opt,
+		cache:   NewCache(),
+		warm:    sim.NewWarmState(),
+		admit:   make(chan *pending, opt.Queue),
+		exec:    make(chan *batch, opt.Queue),
+		stop:    make(chan struct{}),
+		started: time.Now(),
+	}
+	s.wg.Add(1 + opt.Workers)
+	go s.former()
+	for i := 0; i < opt.Workers; i++ {
+		go s.executor()
+	}
+	return s
+}
+
+// Close stops the server: formed batches finish, requests still in the
+// admission queue are answered with ErrClosed. Idempotent.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// former is the admission loop: it blocks for the first pending
+// request, drains whatever else is already queued (up to MaxBatch),
+// groups the round by plan key in arrival order, and hands the batches
+// to the executor pool.
+func (s *Server) former() {
+	defer s.wg.Done()
+	defer close(s.exec)
+	for {
+		var first *pending
+		select {
+		case first = <-s.admit:
+		case <-s.stop:
+			return
+		}
+		round := []*pending{first}
+	drain:
+		for len(round) < s.opt.MaxBatch {
+			select {
+			case p := <-s.admit:
+				round = append(round, p)
+			default:
+				break drain
+			}
+		}
+		byKey := make(map[Key]*batch)
+		var order []*batch
+		for _, p := range round {
+			b := byKey[p.key]
+			if b == nil {
+				b = &batch{key: p.key}
+				byKey[p.key] = b
+				order = append(order, b)
+			}
+			b.reqs = append(b.reqs, p)
+		}
+		for _, b := range order {
+			select {
+			case s.exec <- b:
+			case <-s.stop:
+				return
+			}
+		}
+	}
+}
+
+// executor runs batches: one cache lookup (compiling at most once per
+// key across the fleet), then the batch's requests back to back so the
+// plan and the warm scratch stay hot.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for b := range s.exec {
+		s.mu.Lock()
+		s.batches++
+		s.batched += int64(len(b.reqs))
+		s.mu.Unlock()
+		plan, hit, err := s.cache.Plan(b.key, func() (*core.Plan, error) {
+			net, err := model.ByName(b.key.Network, ZooSeed)
+			if err != nil {
+				return nil, err
+			}
+			return s.pipelineFor(b.reqs[0].req).Compile(net), nil
+		})
+		for _, p := range b.reqs {
+			if err != nil {
+				p.reply <- answer{err: err}
+				continue
+			}
+			rep := s.pipelineFor(p.req).Execute(plan)
+			p.reply <- answer{resp: Response{Report: rep, PlanCached: hit}}
+		}
+	}
+}
+
+// pipelineFor configures a core pipeline from a normalized request.
+// Compile-relevant fields mirror the plan key; runtime knobs ride
+// along per request.
+func (s *Server) pipelineFor(r Request) *core.Pipeline {
+	p := core.NewPipeline(r.Mode)
+	p.Seed = r.Seed
+	p.Beta = r.Beta
+	p.Bits = r.Bits
+	p.WDSDelta = r.Delta
+	p.Parallel = r.Parallel
+	p.Warm = s.warm
+	return p
+}
+
+// Submit admits one request and blocks until its answer, ctx
+// cancellation, or server close. The returned Report equals what a
+// cold one-shot run of the same request computes; only the latency
+// depends on load.
+func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
+	nr, key, err := req.normalize()
+	if err != nil {
+		return Response{}, err
+	}
+	p := &pending{req: nr, key: key, reply: make(chan answer, 1), enq: time.Now()}
+	select {
+	case s.admit <- p:
+	case <-s.stop:
+		return Response{}, ErrClosed
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	finish := func(a answer) (Response, error) {
+		if a.err != nil {
+			return Response{}, a.err
+		}
+		a.resp.Latency = time.Since(p.enq)
+		s.mu.Lock()
+		s.requests++
+		if len(s.latencies) < latencyWindow {
+			s.latencies = append(s.latencies, a.resp.Latency)
+		} else {
+			s.latencies[s.latHead] = a.resp.Latency
+			s.latHead = (s.latHead + 1) % latencyWindow
+		}
+		s.mu.Unlock()
+		return a.resp, nil
+	}
+	select {
+	case a := <-p.reply:
+		return finish(a)
+	case <-s.stop:
+		// The answer may have raced the close; prefer it.
+		select {
+		case a := <-p.reply:
+			return finish(a)
+		default:
+		}
+		return Response{}, ErrClosed
+	case <-ctx.Done():
+		select {
+		case a := <-p.reply:
+			return finish(a)
+		default:
+		}
+		return Response{}, ctx.Err()
+	}
+}
+
+// ServeList submits every request concurrently and returns the
+// responses in request-list order — the deterministic merge the
+// aggregate report renders from. The first error (in list order)
+// is returned, if any.
+func (s *Server) ServeList(ctx context.Context, reqs []Request) ([]Response, error) {
+	resps := make([]Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.Submit(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}
+
+// Stats are the server's cumulative counters.
+type Stats struct {
+	// Requests counts answered requests.
+	Requests int64
+	// Compiles counts plan compilations (one per distinct key).
+	Compiles int64
+	// PlanHits counts cache lookups answered by an existing entry.
+	PlanHits int64
+	// Batches counts batches formed; MeanBatch is requests per batch.
+	Batches   int64
+	MeanBatch float64
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Requests: s.requests,
+		Compiles: s.cache.Compiles(),
+		PlanHits: s.cache.Hits(),
+		Batches:  s.batches,
+	}
+	if s.batches > 0 {
+		st.MeanBatch = float64(s.batched) / float64(s.batches)
+	}
+	return st
+}
+
+// Metrics summarizes served traffic: wall-clock rate and latency
+// percentiles. Unlike the per-request Reports these depend on load and
+// scheduling, so they are reported beside — never inside — the
+// deterministic aggregate (see Render).
+type Metrics struct {
+	Stats
+	// Wall is the time since the server started.
+	Wall time.Duration
+	// ReqPerSec is Requests / Wall.
+	ReqPerSec float64
+	// P50/P95/P99 are admission-to-answer latency percentiles over
+	// the most recent window of answers (bounded; see latencyWindow).
+	P50, P95, P99 time.Duration
+}
+
+// Metrics snapshots the timing view.
+func (s *Server) Metrics() Metrics {
+	st := s.Stats()
+	s.mu.Lock()
+	lat := append([]time.Duration(nil), s.latencies...)
+	started := s.started
+	s.mu.Unlock()
+	m := Metrics{Stats: st, Wall: time.Since(started)}
+	if m.Wall > 0 {
+		m.ReqPerSec = float64(st.Requests) / m.Wall.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		m.P50 = percentile(lat, 0.50)
+		m.P95 = percentile(lat, 0.95)
+		m.P99 = percentile(lat, 0.99)
+	}
+	return m
+}
+
+// percentile returns the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aim/internal/core"
+	"aim/internal/model"
+	"aim/internal/vf"
+)
+
+// coldNet resolves a zoo network the way the server's compile path
+// does.
+func coldNet(name string) (*model.Network, error) { return model.ByName(name, ZooSeed) }
+
+func TestCacheCompileOncePerKey(t *testing.T) {
+	c := NewCache()
+	var calls atomic.Int64
+	compile := func() (*core.Plan, error) {
+		calls.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the stampede window
+		return &core.Plan{}, nil
+	}
+	const goroutines = 64
+	var wg sync.WaitGroup
+	plans := make([]*core.Plan, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.Plan(Key{Network: "resnet18", Mode: "low-power", Bits: 8, Delta: 16, Seed: 1}, compile)
+			if err != nil {
+				t.Error(err)
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("compile ran %d times for one key, want 1", calls.Load())
+	}
+	if c.Compiles() != 1 || c.Len() != 1 {
+		t.Errorf("compiles = %d, len = %d, want 1/1", c.Compiles(), c.Len())
+	}
+	for _, p := range plans {
+		if p != plans[0] {
+			t.Fatal("goroutines got different plan pointers for one key")
+		}
+	}
+}
+
+func TestCacheDistinctKeysCompileSeparately(t *testing.T) {
+	c := NewCache()
+	var calls atomic.Int64
+	compile := func() (*core.Plan, error) { calls.Add(1); return &core.Plan{}, nil }
+	keys := []Key{
+		{Network: "resnet18", Mode: "low-power", Bits: 8, Delta: 16, Seed: 1},
+		{Network: "resnet18", Mode: "sprint", Bits: 8, Delta: 16, Seed: 1},
+		{Network: "resnet18", Mode: "low-power", Bits: 8, Delta: 0, Seed: 1},
+		{Network: "resnet18", Mode: "low-power", Bits: 8, Delta: 16, Seed: 2},
+		{Network: "resnet18", Mode: "low-power", Bits: 4, Delta: 16, Seed: 1},
+		{Network: "gpt2", Mode: "low-power", Bits: 8, Delta: 16, Seed: 1},
+	}
+	for _, k := range keys {
+		if _, hit, _ := c.Plan(k, compile); hit {
+			t.Errorf("key %+v: unexpected hit", k)
+		}
+	}
+	if calls.Load() != int64(len(keys)) {
+		t.Errorf("compiles = %d, want %d", calls.Load(), len(keys))
+	}
+	if _, hit, _ := c.Plan(keys[0], compile); !hit {
+		t.Error("second lookup of a key must hit")
+	}
+	if c.Hits() != 1 {
+		t.Errorf("hits = %d, want 1", c.Hits())
+	}
+}
+
+func TestRequestNormalize(t *testing.T) {
+	cases := []struct {
+		name    string
+		req     Request
+		wantErr bool
+		want    Request // canonical fields (checked when wantErr is false)
+	}{
+		{
+			name: "defaults",
+			req:  Request{Network: "resnet18", Mode: vf.LowPower},
+			want: Request{Network: "resnet18", Mode: vf.LowPower, Beta: 50, Bits: 8, Delta: 16, Seed: 1, Parallel: 1},
+		},
+		{
+			name: "disable wds",
+			req:  Request{Network: "resnet18", Mode: vf.Sprint, Delta: core.DisableWDS},
+			want: Request{Network: "resnet18", Mode: vf.Sprint, Beta: 50, Bits: 8, Delta: 0, Seed: 1, Parallel: 1},
+		},
+		{
+			name: "explicit pow2 delta",
+			req:  Request{Network: "gpt2", Mode: vf.LowPower, Delta: 8, Beta: 25, Seed: 7, Bits: 4, Parallel: 3},
+			want: Request{Network: "gpt2", Mode: vf.LowPower, Beta: 25, Bits: 4, Delta: 8, Seed: 7, Parallel: 3},
+		},
+		{name: "non-pow2 delta", req: Request{Network: "resnet18", Mode: vf.LowPower, Delta: 12}, wantErr: true},
+		{name: "negative delta", req: Request{Network: "resnet18", Mode: vf.LowPower, Delta: -2}, wantErr: true},
+		{name: "bad bits", req: Request{Network: "resnet18", Mode: vf.LowPower, Bits: 40}, wantErr: true},
+		{name: "bad mode", req: Request{Network: "resnet18", Mode: vf.Mode(9)}, wantErr: true},
+	}
+	for _, c := range cases {
+		got, key, err := c.req.normalize()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error", c.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: normalized %+v, want %+v", c.name, got, c.want)
+		}
+		wantKey := Key{Network: c.want.Network, Mode: c.want.Mode.String(), Bits: c.want.Bits, Delta: c.want.Delta, Seed: c.want.Seed}
+		if key != wantKey {
+			t.Errorf("%s: key %+v, want %+v", c.name, key, wantKey)
+		}
+	}
+}
+
+// stageEqual compares the deterministic content of two stage results.
+func stageEqual(a, b core.StageResult) bool {
+	return reflect.DeepEqual(a.HR, b.HR) && a.Quality == b.Quality && reflect.DeepEqual(a.Result, b.Result)
+}
+
+func TestSubmitMatchesColdRun(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	req := Request{Network: "resnet18", Mode: vf.LowPower}
+	resp, err := s.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cold one-shot path: the same pipeline configuration without
+	// the server in between.
+	nr, _, err := req.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := s.pipelineFor(nr)
+	cold.Warm = nil
+	net, err := coldNet(req.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cold.Run(net)
+	if !stageEqual(resp.Report.Baseline, want.Baseline) || !stageEqual(resp.Report.AIM, want.AIM) {
+		t.Errorf("served report diverges from cold run:\n  served=%+v\n  cold=%+v",
+			resp.Report.AIM.Result, want.AIM.Result)
+	}
+	if resp.PlanCached {
+		t.Error("first request for a key must not report a cached plan")
+	}
+	again, err := s.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.PlanCached {
+		t.Error("repeated request must hit the plan cache")
+	}
+	if !stageEqual(again.Report.AIM, want.AIM) {
+		t.Error("cached request result diverges from cold run")
+	}
+}
+
+func TestConcurrentSubmitCompilesOncePerKey(t *testing.T) {
+	s := New(Options{Workers: 4})
+	defer s.Close()
+	reqs := make([]Request, 24)
+	for i := range reqs {
+		mode := vf.LowPower
+		if i%2 == 0 {
+			mode = vf.Sprint
+		}
+		reqs[i] = Request{Network: "resnet18", Mode: mode}
+	}
+	resps, err := s.ServeList(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Compiles != 2 {
+		t.Errorf("compiles = %d, want 2 (one per mode) — the cache must not stampede", st.Compiles)
+	}
+	if st.Requests != int64(len(reqs)) {
+		t.Errorf("requests = %d, want %d", st.Requests, len(reqs))
+	}
+	// Every response for one key must be identical.
+	for i := 2; i < len(resps); i++ {
+		if !stageEqual(resps[i].Report.AIM, resps[i%2].Report.AIM) {
+			t.Fatalf("response %d diverges from response %d for the same key", i, i%2)
+		}
+	}
+}
+
+// mixedList is the fixed request list the determinism tests serve:
+// three plans (two modes and a WDS-disabled point), interleaved with
+// repeats.
+func mixedList() []Request {
+	var reqs []Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs,
+			Request{Network: "resnet18", Mode: vf.LowPower},
+			Request{Network: "resnet18", Mode: vf.Sprint},
+			Request{Network: "resnet18", Mode: vf.LowPower, Delta: core.DisableWDS},
+		)
+	}
+	return reqs
+}
+
+func TestServeListDeterministicAcrossWorkers(t *testing.T) {
+	reqs := mixedList()
+	var reports []string
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, workers := range counts {
+		s := New(Options{Workers: workers})
+		resps, err := s.ServeList(context.Background(), reqs)
+		s.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st := s.Stats(); st.Compiles != 3 {
+			t.Errorf("workers=%d: compiles = %d, want 3", workers, st.Compiles)
+		}
+		reports = append(reports, Render(reqs, resps))
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Errorf("aggregate report for workers=%d differs from workers=%d:\n%s\n--- vs ---\n%s",
+				counts[i], counts[0], reports[i], reports[0])
+		}
+	}
+	// The report must carry the serving view and collapse repeats.
+	if !strings.Contains(reports[0], "tok/s") || !strings.Contains(reports[0], "aggregate: 12 requests") {
+		t.Errorf("report shape wrong:\n%s", reports[0])
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	s := New(Options{Workers: 1})
+	// Unknown networks are rejected at admission: no compile runs and
+	// no plan-cache slot is occupied, so a daemon fed arbitrary names
+	// cannot be grown without bound.
+	if _, err := s.Submit(context.Background(), Request{Network: "alexnet", Mode: vf.LowPower}); err == nil {
+		t.Error("unknown network must error")
+	}
+	if st := s.Stats(); st.Compiles != 0 {
+		t.Errorf("unknown network triggered %d compiles, want 0 (rejected before admission)", st.Compiles)
+	}
+	if _, err := s.Submit(context.Background(), Request{Network: "resnet18", Mode: vf.LowPower, Delta: 12}); err == nil {
+		t.Error("non-pow2 delta must error before admission")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Submit(ctx, Request{Network: "resnet18", Mode: vf.LowPower}); err != context.Canceled {
+		t.Errorf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Submit(context.Background(), Request{Network: "resnet18", Mode: vf.LowPower}); err != ErrClosed {
+		t.Errorf("closed server: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMetricsAndBatching(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	if _, err := s.ServeList(context.Background(), mixedList()); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Requests != 12 || m.Batches == 0 || m.MeanBatch < 1 {
+		t.Errorf("metrics counters wrong: %+v", m)
+	}
+	if m.P50 <= 0 || m.P99 < m.P95 || m.P95 < m.P50 {
+		t.Errorf("latency percentiles inconsistent: p50=%v p95=%v p99=%v", m.P50, m.P95, m.P99)
+	}
+	if m.ReqPerSec <= 0 {
+		t.Errorf("req/s = %v", m.ReqPerSec)
+	}
+}
+
+func TestTokensPerSecReference(t *testing.T) {
+	if got := TokensPerSec(256); got != 17.5 {
+		t.Errorf("TokensPerSec(256) = %v, want 17.5", got)
+	}
+	if got := TokensPerSec(512); got != 35 {
+		t.Errorf("TokensPerSec(512) = %v, want 35", got)
+	}
+	if got := EnergyPerTokenMJ(17.5, 256); got != 1 {
+		t.Errorf("EnergyPerTokenMJ(17.5, 256) = %v, want 1", got)
+	}
+	if got := EnergyPerTokenMJ(3, 0); got != 0 {
+		t.Errorf("EnergyPerTokenMJ at zero TOPS = %v, want 0", got)
+	}
+}

@@ -1,10 +1,52 @@
 package sim
 
 import (
+	"sync"
+
 	"aim/internal/pim"
 	"aim/internal/stream"
 	"aim/internal/xrand"
 )
+
+// WarmState pools waveScratch instances across Run calls — the warm
+// simulator state a serving runtime keeps between requests so repeated
+// executions stop re-growing the packed banks, toggle buffers and RNG
+// state from zero. It is safe for concurrent use: each chunk worker
+// checks a scratch out for the duration of its chunk and returns it
+// when done. Reuse never changes an RNG draw, so results are
+// bit-identical with or without a WarmState (TestWarmStateMatchesSerial).
+type WarmState struct {
+	mu   sync.Mutex
+	free []*waveScratch
+}
+
+// NewWarmState returns an empty pool.
+func NewWarmState() *WarmState { return &WarmState{} }
+
+// get checks a scratch out of the pool (nil WarmState allocates).
+func (w *WarmState) get() *waveScratch {
+	if w == nil {
+		return &waveScratch{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.free); n > 0 {
+		s := w.free[n-1]
+		w.free = w.free[:n-1]
+		return s
+	}
+	return &waveScratch{}
+}
+
+// put returns a scratch to the pool.
+func (w *WarmState) put(s *waveScratch) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.free = append(w.free, s)
+	w.mu.Unlock()
+}
 
 // waveScratch holds the per-shard buffers the chunked wave executor
 // reuses across the waves of its chunk: the synthetic packed banks,

@@ -48,6 +48,10 @@ type Options struct {
 	// (default, rtog = flip-intensity × HR) or PackedToggles (the
 	// word-wise Eq. 1 engine over synthetic packed weight banks).
 	Fidelity ToggleFidelity
+	// Warm, when non-nil, pools the per-worker scratch across Run calls
+	// (a serving runtime executing many requests). Ignored on the
+	// serial reference path; results are bit-identical either way.
+	Warm *WarmState
 	// bytesReference forces the PackedToggles engine onto the legacy
 	// one-byte-per-bit scalar path. Equivalence tests use it to prove
 	// the packed word-wise pipeline bit-identical; it is not a user
@@ -148,8 +152,16 @@ func Run(c *compiler.Compiled, cfg pim.Config, opt Options) Result {
 	}
 	var waves []waveResult
 	if workers := runner.Workers(opt.Parallel, len(c.Waves)); opt.Parallel == 1 || len(c.Waves) == 0 {
+		// Serial path: a warm pool still supplies one reusable scratch
+		// (a serving runtime's default is Parallel == 1); without one
+		// this stays the historical allocate-per-wave reference.
+		var scratch *waveScratch
+		if opt.Warm != nil {
+			scratch = opt.Warm.get()
+			defer opt.Warm.put(scratch)
+		}
 		waves = runner.Collect(len(c.Waves), 1, func(wi int) waveResult {
-			return wave(wi, nil)
+			return wave(wi, scratch)
 		})
 	} else {
 		chunks := workers
@@ -163,7 +175,8 @@ func Run(c *compiler.Compiled, cfg pim.Config, opt Options) Result {
 		}
 		waves = make([]waveResult, len(c.Waves))
 		runner.Do(context.Background(), chunks, workers, func(ci int) error {
-			scratch := &waveScratch{}
+			scratch := opt.Warm.get()
+			defer opt.Warm.put(scratch)
 			lo := ci * len(c.Waves) / chunks
 			hi := (ci + 1) * len(c.Waves) / chunks
 			for wi := lo; wi < hi; wi++ {

@@ -207,6 +207,39 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestWarmStateMatchesSerial pins the serving runtime's warm-state
+// contract: pooling scratch across Run calls (and across fidelity
+// modes) never changes a bit of the Result versus the serial
+// reference, including when the pool is reused repeatedly.
+func TestWarmStateMatchesSerial(t *testing.T) {
+	_, aim, net := compileBoth(t, "resnet18")
+	cfg := pim.DefaultConfig()
+	for _, fidelity := range []ToggleFidelity{AnalyticToggles, PackedToggles} {
+		serialOpt := DefaultOptions(net.Transformer, vf.LowPower)
+		serialOpt.Parallel = 1
+		serialOpt.Fidelity = fidelity
+		serial := Run(aim, cfg, serialOpt)
+		warm := NewWarmState()
+		for round := 0; round < 3; round++ {
+			for _, workers := range []int{0, 1, 2, 3} {
+				opt := serialOpt
+				opt.Parallel = workers
+				opt.Warm = warm
+				got := Run(aim, cfg, opt)
+				if got.AvgMacroPowerMW != serial.AvgMacroPowerMW ||
+					got.TOPS != serial.TOPS ||
+					got.WorstDropMV != serial.WorstDropMV ||
+					got.AvgDropMV != serial.AvgDropMV ||
+					got.Failures != serial.Failures ||
+					got.UsefulCycles != serial.UsefulCycles {
+					t.Fatalf("fidelity %v round %d Parallel=%d with warm state diverges:\n  got=%+v\n  ser=%+v",
+						fidelity, round, workers, got, serial)
+				}
+			}
+		}
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	_, aim, net := compileBoth(t, "resnet18")
 	opt := DefaultOptions(net.Transformer, vf.LowPower)

@@ -1,0 +1,163 @@
+package aim
+
+import (
+	"context"
+	"time"
+
+	"aim/internal/serve"
+)
+
+// Server is the compile-once serving runtime (the paper's
+// d-Matrix/Houmo scenario: a PIM chip serving models under a latency
+// target or power envelope). A one-shot Run recompiles the whole
+// offline pipeline — LHR proximal tuning over every layer, WDS, the
+// HR-aware mapping SA — on every call; a Server compiles each
+// deployment point once into a shared plan cache keyed by (network,
+// mode, bits, δ, seed) and answers repeated requests from it, so
+// serving cost drops to the runtime Execute phase alone.
+//
+// Concurrent Submit calls flow through an admission queue whose batch
+// former groups them by plan; batches execute over a bounded worker
+// pool reusing warm simulator state. Results are identical to a cold
+// Run of the same Config — determinism holds for any worker count.
+type Server struct {
+	inner *serve.Server
+}
+
+// ServerOptions configures a Server. Zero values select defaults.
+type ServerOptions struct {
+	// Workers is the executor pool size (default GOMAXPROCS): how many
+	// plan batches run concurrently.
+	Workers int
+	// MaxBatch bounds how many queued requests one admission round
+	// drains (default 64).
+	MaxBatch int
+	// Queue is the admission queue depth (default 256).
+	Queue int
+}
+
+// NewServer starts a serving runtime; callers must Close it.
+func NewServer(opt ServerOptions) *Server {
+	return &Server{inner: serve.New(serve.Options{
+		Workers:  opt.Workers,
+		MaxBatch: opt.MaxBatch,
+		Queue:    opt.Queue,
+	})}
+}
+
+// Close drains in-flight batches and stops the server. Idempotent;
+// requests still queued are answered with an error.
+func (s *Server) Close() { s.inner.Close() }
+
+// request converts a public Config into the serving runtime's request.
+func request(cfg Config) (serve.Request, error) {
+	mode, err := cfg.Mode.internal()
+	if err != nil {
+		return serve.Request{}, err
+	}
+	return serve.Request{
+		Network:  cfg.Network,
+		Mode:     mode,
+		Beta:     cfg.Beta,
+		Bits:     cfg.Bits,
+		Delta:    cfg.WDSDelta,
+		Seed:     cfg.Seed,
+		Parallel: cfg.Parallel,
+	}, nil
+}
+
+// Submit serves one request: the first request for a deployment point
+// pays the offline compile, every later one amortizes it to zero. The
+// Result equals what Run(cfg) returns for the same Config.
+func (s *Server) Submit(ctx context.Context, cfg Config) (Result, error) {
+	req, err := request(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	resp, err := s.inner.Submit(ctx, req)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFrom(resp.Report, cfg.Mode), nil
+}
+
+// ServeList submits every request concurrently and returns results in
+// request order — for a fixed seed and fixed list the slice is
+// identical for any ServerOptions.Workers value.
+func (s *Server) ServeList(ctx context.Context, cfgs []Config) ([]Result, error) {
+	reqs := make([]serve.Request, len(cfgs))
+	for i, cfg := range cfgs {
+		req, err := request(cfg)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = req
+	}
+	resps, err := s.inner.ServeList(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(resps))
+	for i, resp := range resps {
+		out[i] = resultFrom(resp.Report, cfgs[i].Mode)
+	}
+	return out, nil
+}
+
+// ServerStats are the server's cumulative counters.
+type ServerStats struct {
+	// Requests counts answered requests; Compiles counts plan
+	// compilations (one per distinct cache key); PlanHits counts
+	// cache lookups answered by an existing plan.
+	Requests, Compiles, PlanHits int64
+	// Batches counts admission batches; MeanBatch is requests per
+	// batch.
+	Batches   int64
+	MeanBatch float64
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() ServerStats {
+	st := s.inner.Stats()
+	return ServerStats{
+		Requests: st.Requests, Compiles: st.Compiles, PlanHits: st.PlanHits,
+		Batches: st.Batches, MeanBatch: st.MeanBatch,
+	}
+}
+
+// ServerMetrics summarizes served traffic. Unlike Results these depend
+// on load and scheduling: they are observability, not part of the
+// deterministic contract.
+type ServerMetrics struct {
+	ServerStats
+	// Wall is time since the server started; ReqPerSec is Requests
+	// over Wall.
+	Wall      time.Duration
+	ReqPerSec float64
+	// P50/P95/P99 are admission-to-answer latency percentiles.
+	P50, P95, P99 time.Duration
+}
+
+// Metrics snapshots the timing view.
+func (s *Server) Metrics() ServerMetrics {
+	m := s.inner.Metrics()
+	return ServerMetrics{
+		ServerStats: ServerStats{
+			Requests: m.Requests, Compiles: m.Compiles, PlanHits: m.PlanHits,
+			Batches: m.Batches, MeanBatch: m.MeanBatch,
+		},
+		Wall: m.Wall, ReqPerSec: m.ReqPerSec,
+		P50: m.P50, P95: m.P95, P99: m.P99,
+	}
+}
+
+// TokensPerSec estimates serving throughput at the paper's Houmo
+// MoMagic30 reference point (~17.5 tokens/s at the nominal 256 TOPS),
+// scaled with the run's effective TOPS.
+func (r Result) TokensPerSec() float64 { return serve.TokensPerSec(r.TOPS) }
+
+// EnergyPerTokenMJ is the per-macro energy per generated token in
+// millijoules: average macro power over the token rate.
+func (r Result) EnergyPerTokenMJ() float64 {
+	return serve.EnergyPerTokenMJ(r.MacroPowerMW, r.TOPS)
+}
