@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn bench-serve lint ci
+.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn bench-serve bench-spatial lint ci
 
 all: build
 
@@ -92,6 +92,21 @@ bench-serve:
 	@$(bench_json) BENCH_serve.txt > BENCH_serve.json
 	@rm -f BENCH_serve.txt
 	@cat BENCH_serve.json
+
+# Spatial-tier trajectory: the SpatialPDN fidelity (per-cycle-window
+# warm multigrid solves of the die PDN) against the PackedToggles
+# baseline it builds on, serial and parallel — emitted as
+# BENCH_spatial.json beside the Rtog, PDN and serve series. The
+# acceptance bar: BenchmarkSimSpatial at most 5x BenchmarkSimPacked
+# (the warm V-cycle must amortize, not dominate).
+bench-spatial:
+	@rm -f BENCH_spatial.txt
+	for i in 1 2 3; do \
+		$(GO) test -run '^$$' -bench 'BenchmarkSim(Packed|Spatial(Parallel)?)$$' -benchtime 3x ./internal/sim >> BENCH_spatial.txt || exit 1; \
+	done
+	@$(bench_json) BENCH_spatial.txt > BENCH_spatial.json
+	@rm -f BENCH_spatial.txt
+	@cat BENCH_spatial.json
 
 lint: vet fmt-check
 

@@ -8,6 +8,7 @@ import (
 	"aim/internal/core"
 	"aim/internal/experiments"
 	"aim/internal/model"
+	"aim/internal/sim"
 	"aim/internal/vf"
 )
 
@@ -30,6 +31,39 @@ func (m Mode) internal() (vf.Mode, error) {
 	default:
 		return 0, fmt.Errorf("aim: unknown mode %q (want %q or %q)", m, Sprint, LowPower)
 	}
+}
+
+// Fidelity selects the simulator's modelling tier — the three-rung
+// ladder of activity and IR-drop fidelity. It is a runtime knob: plans
+// compile identically at every tier, so a serving runtime switches
+// tiers per request without recompiling.
+type Fidelity string
+
+const (
+	// FidelityAnalytic (the default) models Rtog as flip-intensity ×
+	// HR and every group's drop as the scalar Eq. 2 of its own
+	// activity — the fast closed-form tier, byte-identical to the
+	// historical simulator.
+	FidelityAnalytic Fidelity = "analytic"
+	// FidelityPacked runs the word-wise Eq. 1 engine over synthetic
+	// packed weight banks: per-cycle Rtog carries real binomial
+	// cell-level variance; drops stay scalar Eq. 2.
+	FidelityPacked Fidelity = "packed"
+	// FidelitySpatial adds spatially-resolved IR drops on top of the
+	// packed engine: per cycle-window the group activity vector
+	// becomes a die current map, a warm-started multigrid V-cycle
+	// solves the power-delivery mesh, and each group's drop is read
+	// from its own floorplan tiles — real neighbour coupling instead
+	// of the analytic noise term.
+	FidelitySpatial Fidelity = "spatial"
+)
+
+func (f Fidelity) internal() (sim.Fidelity, error) {
+	fid, err := sim.ParseFidelity(string(f))
+	if err != nil {
+		return 0, fmt.Errorf("aim: %w", err)
+	}
+	return fid, nil
 }
 
 // Networks lists the workloads of the evaluation zoo.
@@ -59,8 +93,13 @@ type Config struct {
 	// Parallel bounds the simulator's wave-sharding worker pool:
 	// 0 uses one worker per CPU, 1 forces the serial reference path,
 	// N > 1 uses N workers. Results are bit-identical for any value —
-	// the knob only trades wall-clock time for cores.
+	// the knob only trades wall-clock time for cores. Negative values
+	// are rejected.
 	Parallel int
+	// Fidelity selects the simulator's modelling tier (default
+	// FidelityAnalytic). Unknown values are rejected with an error,
+	// never silently substituted.
+	Fidelity Fidelity
 }
 
 // Result summarizes a full AIM run against the DVFS baseline.
@@ -116,6 +155,15 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Bits != 0 && (cfg.Bits < 2 || cfg.Bits > 16) {
 		return Result{}, fmt.Errorf("aim: bits %d out of range [2,16]", cfg.Bits)
 	}
+	// Runtime knobs get the same treatment: a bogus fidelity or a
+	// negative worker count is an error, not a silent fallback.
+	fidelity, err := cfg.Fidelity.internal()
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Parallel < 0 {
+		return Result{}, fmt.Errorf("aim: negative parallel %d (0 = one worker per CPU, 1 = serial)", cfg.Parallel)
+	}
 	net, err := model.ByName(cfg.Network, 2025)
 	if err != nil {
 		return Result{}, err
@@ -123,6 +171,7 @@ func Run(cfg Config) (Result, error) {
 	p := core.NewPipeline(mode)
 	p.Seed = seed
 	p.Parallel = cfg.Parallel
+	p.Fidelity = fidelity
 	p.WDSDelta = delta
 	if cfg.Beta > 0 {
 		p.Beta = cfg.Beta

@@ -64,8 +64,8 @@ func TestRunSprint(t *testing.T) {
 }
 
 func TestExperimentLookup(t *testing.T) {
-	if len(ExperimentIDs()) != 21 {
-		t.Fatalf("experiment count = %d, want 21", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 22 {
+		t.Fatalf("experiment count = %d, want 22", len(ExperimentIDs()))
 	}
 	out, err := Experiment("overhead", 2025)
 	if err != nil {
@@ -195,6 +195,50 @@ func TestRunRejectsInvalidDelta(t *testing.T) {
 	}
 	if _, err := Run(Config{Network: "resnet18", Bits: 40}); err == nil {
 		t.Error("Bits 40 must error")
+	}
+}
+
+func TestRunRejectsInvalidRuntimeKnobs(t *testing.T) {
+	// Fidelity and Parallel validate like the compile knobs: errors,
+	// not silent fallbacks.
+	if _, err := Run(Config{Network: "resnet18", Fidelity: "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown fidelity") {
+		t.Errorf("Fidelity bogus: err = %v, want unknown-fidelity error", err)
+	}
+	if _, err := Run(Config{Network: "resnet18", Parallel: -1}); err == nil || !strings.Contains(err.Error(), "negative parallel") {
+		t.Errorf("Parallel -1: err = %v, want negative-parallel error", err)
+	}
+}
+
+func TestServerRejectsInvalidRuntimeKnobs(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 1})
+	defer srv.Close()
+	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18", Fidelity: "bogus"}); err == nil {
+		t.Error("Submit with bogus fidelity must error")
+	}
+	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18", Parallel: -1}); err == nil {
+		t.Error("Submit with negative parallel must error")
+	}
+	if _, err := srv.ServeList(context.Background(), []Config{{Network: "resnet18", Fidelity: "x"}}); err == nil {
+		t.Error("ServeList with bogus fidelity must error")
+	}
+}
+
+// TestRunSpatialFidelity: the spatial tier works end to end through
+// the public API and lands in the paper's mitigation ballpark.
+func TestRunSpatialFidelity(t *testing.T) {
+	res, err := Run(Config{Network: "mobilenetv2", Fidelity: FidelitySpatial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstDropMV <= 0 || res.MitigationPct <= 0 {
+		t.Errorf("spatial run looks empty: %+v", res)
+	}
+	analytic, err := Run(Config{Network: "mobilenetv2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstDropMV == analytic.WorstDropMV && res.Failures == analytic.Failures {
+		t.Error("spatial tier should differ from the analytic tier at runtime")
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	aimc -net resnet18 [-mode sprint|low-power] [-beta 50] [-delta 16] [-seed N] [-parallel N]
+//	     [-fidelity analytic|packed|spatial]
 package main
 
 import (
@@ -33,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	delta := fs.Int("delta", 16, "WDS shift δ (power of two; -1 disables WDS)")
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "simulator worker pool: 0 = one per CPU, 1 = serial")
+	fidelity := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -47,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		WDSDelta: *delta,
 		Seed:     *seed,
 		Parallel: *parallel,
+		Fidelity: aim.Fidelity(*fidelity),
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "aimc: %v\n", err)

@@ -62,6 +62,11 @@ func TestErrorPaths(t *testing.T) {
 		// it must exit 1 with a clear error instead.
 		{"non-pow2 delta", []string{"-delta", "12"}, "power of two"},
 		{"negative delta", []string{"-delta", "-3"}, "power of two"},
+		// Regression: runtime knobs validate the same way — a bogus
+		// fidelity or negative worker count is an error, never a
+		// silent fallback to the default tier.
+		{"bogus fidelity", []string{"-fidelity", "bogus"}, "unknown fidelity"},
+		{"negative parallel", []string{"-parallel", "-2"}, "negative parallel"},
 	}
 	for _, c := range cases {
 		var stdout, stderr strings.Builder

@@ -10,6 +10,7 @@
 //
 //	aimserve [-n 48] [-rate 0] [-mix zoo|llm|vision|net:mode,...]
 //	         [-workers N] [-beta 50] [-delta 0] [-seed 1] [-parallel 1]
+//	         [-fidelity analytic|packed|spatial]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"aim"
 	"aim/internal/serve"
+	"aim/internal/sim"
 	"aim/internal/vf"
 	"aim/internal/xrand"
 )
@@ -98,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	delta := fs.Int("delta", 0, "WDS shift δ (0 = default 16, -1 = disable WDS)")
 	seed := fs.Int64("seed", 1, "random seed (scenario draws, arrival gaps, pipeline)")
 	parallel := fs.Int("parallel", 1, "per-request wave pool (fleet parallelism comes from -workers)")
+	fidelityName := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial (runtime knob; plans are shared across tiers)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -105,6 +108,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	scen, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(stderr, "aimserve: %v\n", err)
+		return 2
+	}
+	fidelity, err := sim.ParseFidelity(*fidelityName)
 	if err != nil {
 		fmt.Fprintf(stderr, "aimserve: %v\n", err)
 		return 2
@@ -124,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reqs[i] = serve.Request{
 			Network: sc.net, Mode: sc.mode,
 			Beta: *beta, Delta: *delta, Seed: *seed, Parallel: *parallel,
+			Fidelity: fidelity,
 		}
 	}
 	var offsets []time.Duration

@@ -68,6 +68,7 @@ func TestArgumentErrors(t *testing.T) {
 		code int
 	}{
 		{"bad mix", []string{"-mix", "nosuchmix"}, 2},
+		{"bad fidelity", []string{"-fidelity", "bogus"}, 2},
 		{"zero requests", []string{"-n", "0"}, 2},
 		{"unknown network in mix", []string{"-mix", "alexnet:sprint", "-n", "1"}, 1},
 		{"non-pow2 delta", []string{"-mix", "resnet18:low-power", "-n", "1", "-delta", "12"}, 1},

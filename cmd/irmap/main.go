@@ -45,13 +45,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	// Value validation exits 1 with a diagnostic (exit 2 is reserved
+	// for flag-parse/usage errors). In particular -scale must never
+	// reach ScaledFloorplan out of range: 0 or negative would panic
+	// inside the floorplan constructor, and an absurd scale would try
+	// to allocate a mesh of billions of cells.
 	if *baseAct < 0 || *baseAct > 1 || *optAct < 0 || *optAct > 1 {
 		fmt.Fprintln(stderr, "irmap: -activity and -optimized must lie in [0,1]")
-		return 2
+		return 1
 	}
 	if *scale < 1 || *scale > 16 {
-		fmt.Fprintln(stderr, "irmap: -scale must lie in [1,16]")
-		return 2
+		fmt.Fprintf(stderr, "irmap: -scale %d out of range: want 1 (the calibrated 64x64 die) through 16 (a 1024x1024 production die)\n", *scale)
+		return 1
 	}
 
 	fp := pdn.DefaultFloorplan()

@@ -17,14 +17,16 @@ func runCapture(t *testing.T, args ...string) (int, string, string) {
 }
 
 func TestFlagHandling(t *testing.T) {
+	// Usage errors exit 2; value-validation errors exit 1 with a clear
+	// diagnostic instead of reaching a library panic.
 	cases := []struct {
 		name string
 		args []string
 		code int
 	}{
 		{"unknown flag", []string{"-bogus"}, 2},
-		{"activity above 1", []string{"-activity", "1.5"}, 2},
-		{"negative optimized", []string{"-optimized", "-0.1"}, 2},
+		{"activity above 1", []string{"-activity", "1.5"}, 1},
+		{"negative optimized", []string{"-optimized", "-0.1"}, 1},
 		{"help", []string{"-h"}, 0},
 	}
 	for _, c := range cases {
@@ -32,7 +34,7 @@ func TestFlagHandling(t *testing.T) {
 		if code != c.code {
 			t.Errorf("%s: exit = %d, want %d (stderr %q)", c.name, code, c.code, stderr)
 		}
-		if c.code == 2 && stderr == "" {
+		if c.code != 0 && stderr == "" {
 			t.Errorf("%s: expected diagnostics on stderr", c.name)
 		}
 	}
@@ -109,12 +111,31 @@ func TestDefaultOutputBytesPinned(t *testing.T) {
 	}
 }
 
-func TestScaleFlag(t *testing.T) {
-	for _, bad := range [][]string{{"-scale", "0"}, {"-scale", "17"}} {
-		if code, _, stderr := runCapture(t, bad...); code != 2 || stderr == "" {
-			t.Errorf("%v: exit %d, want 2 with diagnostics", bad, code)
+// TestScaleFlagValidation: every out-of-range -scale — zero, negative,
+// absurdly large — must exit 1 with a clear message rather than panic
+// inside ScaledFloorplan (or try to allocate a gigacell mesh).
+func TestScaleFlagValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		scale string
+	}{
+		{"zero", "0"},
+		{"negative", "-3"},
+		{"just above max", "17"},
+		{"absurdly large", "1000000"},
+	}
+	for _, c := range cases {
+		code, _, stderr := runCapture(t, "-scale", c.scale)
+		if code != 1 {
+			t.Errorf("%s (-scale %s): exit = %d, want 1 (stderr %q)", c.name, c.scale, code, stderr)
+		}
+		if !strings.Contains(stderr, "-scale") {
+			t.Errorf("%s: diagnostic %q should name the flag", c.name, stderr)
 		}
 	}
+}
+
+func TestScaleFlag(t *testing.T) {
 	code, out, stderr := runCapture(t, "-scale", "2", "-csv", "-seed", "3")
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr = %q", code, stderr)

@@ -66,6 +66,26 @@
 // enforced by table-driven tests across grid sizes, pad pitches, warm
 // and cold starts, and sweep worker counts.
 //
+// Drop estimation is a pluggable layer (irdrop.DropEstimator) behind
+// a three-tier fidelity ladder, selected per run or per request by
+// Config.Fidelity: FidelityAnalytic (scalar Eq. 2 per group — the
+// byte-stable default), FidelityPacked (word-wise Eq. 1 activity,
+// scalar drops), and FidelitySpatial, which couples the multigrid PDN
+// solver into the cycle loop: macro groups carry floorplan
+// coordinates (mapping.Placement), each wave shard owns a
+// warm-started solver session, and once per cycle-window the group
+// activity vector becomes a die current map whose solved field yields
+// every group's drop from its own tiles — real neighbour coupling in
+// place of the analytic noise term, at ~4x the packed tier's
+// wall-clock (see BENCH_spatial.json from `make bench-spatial`).
+// Fidelity is a runtime knob outside the plan-cache key, so one
+// compiled plan serves every tier; the spatial tier is bit-identical
+// for any worker count, and its per-group drops agree with the
+// analytic model within the documented calibration band
+// (irdrop.SpatialCalibrationBandMV) on the default die. The
+// fig16live experiment compares the tiers live under IR-Booster on
+// the 64x64 and 256x256 dies.
+//
 // For the paper's serving scenario (PIM chips serving language models
 // under a latency target or power envelope) the pipeline splits into
 // an offline Compile phase and a runtime Execute phase, and the

@@ -96,6 +96,11 @@ type Pipeline struct {
 	// Parallel bounds the simulator's wave-sharding pool (0 = one
 	// worker per CPU, 1 = serial); results are identical either way.
 	Parallel int
+	// Fidelity selects the simulator's modelling tier (default
+	// sim.AnalyticToggles — the byte-stable historical behaviour).
+	// Like Beta and Parallel it is a runtime knob: it never touches
+	// the compiled artifact, so one Plan serves every tier.
+	Fidelity sim.Fidelity
 	// Warm, when non-nil, lets the simulator reuse its per-worker
 	// scratch across Execute calls — the serving runtime's warm
 	// simulator state. Results are bit-identical with or without it.
@@ -138,6 +143,7 @@ func (p *Pipeline) SimOptions(s Stage, transformer bool) sim.Options {
 	opt.Seed = p.Seed
 	opt.Parallel = p.Parallel
 	opt.Warm = p.Warm
+	opt.Fidelity = p.Fidelity
 	switch s {
 	case StageBaseline:
 		opt.UseBooster = false
@@ -184,7 +190,8 @@ func (p *Pipeline) RunStage(net *model.Network, s Stage) StageResult {
 // comparison compiled once and reusable across Execute calls — the
 // unit the serving runtime caches. A Plan freezes everything the
 // compiler consumed (network, mode, bits, δ, seed); runtime knobs
-// (β, worker count, warm state) stay on the executing Pipeline.
+// (β, worker count, warm state, fidelity tier) stay on the executing
+// Pipeline.
 type Plan struct {
 	Net      *model.Network
 	Baseline *compiler.Compiled

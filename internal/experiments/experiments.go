@@ -110,6 +110,7 @@ func Registry() []struct {
 		{"vfsens", VfSensitivity},
 		{"overhead", Overhead},
 		{"fig16scale", Fig16Scale},
+		{"fig16live", Fig16Live},
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"aim/internal/irdrop"
 )
 
 const seed = 2025
@@ -34,6 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig4", "fig5", "fig7", "table2", "table3", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "sec66", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "vfsens", "overhead", "fig16scale",
+		"fig16live",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -466,5 +469,34 @@ func TestFig16ScaleShape(t *testing.T) {
 	}
 	if tb.Rows[0][0] != "128x128" || tb.Rows[4][0] != "512x512" {
 		t.Errorf("unexpected die labels: %v / %v", tb.Rows[0][0], tb.Rows[4][0])
+	}
+}
+
+func TestFig16LiveShape(t *testing.T) {
+	tb := Fig16Live(seed)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 dies x packed/spatial", len(tb.Rows))
+	}
+	for i := 0; i < len(tb.Rows); i += 2 {
+		if tb.Rows[i][2] != "packed" || tb.Rows[i+1][2] != "spatial" {
+			t.Fatalf("row fidelities = %v/%v, want packed/spatial", tb.Rows[i][2], tb.Rows[i+1][2])
+		}
+		packed := parseF(t, tb.Rows[i][3])
+		spatial := parseF(t, tb.Rows[i+1][3])
+		// The acceptance bar: live spatial worst drops stay within the
+		// documented calibration band of the analytic tier.
+		if d := spatial - packed; d > irdrop.SpatialCalibrationBandMV || d < -irdrop.SpatialCalibrationBandMV {
+			t.Errorf("%s: spatial worst %.1f mV vs packed %.1f mV exceeds the %v mV band",
+				tb.Rows[i][0], spatial, packed, irdrop.SpatialCalibrationBandMV)
+		}
+		if spatial <= 0 {
+			t.Errorf("%s: empty spatial drops", tb.Rows[i][0])
+		}
+	}
+	if tb.Rows[0][0] != "64x64" || tb.Rows[2][0] != "256x256" {
+		t.Errorf("unexpected die labels: %v / %v", tb.Rows[0][0], tb.Rows[2][0])
+	}
+	if tb.Rows[0][1] != "16" || tb.Rows[2][1] != "256" {
+		t.Errorf("unexpected group counts: %v / %v", tb.Rows[0][1], tb.Rows[2][1])
 	}
 }

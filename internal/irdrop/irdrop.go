@@ -44,6 +44,35 @@ func APIMModel() Model {
 	return Model{StaticMV: 42, DynCoeffMV: 110, NoiseMV: 0.8}
 }
 
+// DropEstimator is the pluggable drop-estimation layer between the
+// simulator's activity engines and its monitor/booster machinery: one
+// cycle's per-group activity in, per-group deterministic drops out.
+//
+// act[g] is group g's worst Rtog in [0,1], or negative when the group
+// is idle this cycle; drop[g] receives the estimated drop in
+// millivolts (idle groups get 0). Implementations may carry state
+// between cycles — the spatial estimator keeps a warm-started PDN
+// solver session — and are therefore NOT safe for concurrent use:
+// give each simulation shard its own instance.
+type DropEstimator interface {
+	EstimateGroups(act, drop []float64)
+}
+
+// EstimateGroups implements DropEstimator: the analytic Eq. 2 model
+// applied to every group independently — each bank is a region of
+// stable equivalent resistance, blind to its neighbours. This is the
+// simulator's default tier, bit-identical to the historical per-group
+// Estimate calls it replaces.
+func (m Model) EstimateGroups(act, drop []float64) {
+	for g, a := range act {
+		if a < 0 {
+			drop[g] = 0
+			continue
+		}
+		drop[g] = m.Estimate(a)
+	}
+}
+
 // Estimate returns the expected IR-drop in millivolts at the given
 // Rtog (or HR upper bound) in [0,1].
 func (m Model) Estimate(rtog float64) float64 {

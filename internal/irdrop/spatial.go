@@ -1,0 +1,132 @@
+package irdrop
+
+import (
+	"fmt"
+
+	"aim/internal/pdn"
+)
+
+// Spatial-tier calibration constants, shared by the estimator, the
+// simulator and the equivalence tests.
+const (
+	// SpatialCalibrationBandMV bounds how far a spatially-resolved
+	// per-group drop may sit from the analytic Eq. 2 estimate of the
+	// same activity on the calibrated die (DefaultFloorplan geometry +
+	// DefaultActivity) under Eq. 2's own calibration condition —
+	// groups driven at similar activity, the regime the runtime
+	// simulator produces: edge tiles shed current into the die
+	// boundary and resolve below the scalar model, centre tiles absorb
+	// their neighbours' return current and resolve near it. The band
+	// is what "the bank is a region of stable equivalent resistance"
+	// (§4.1) abstracts away; TestSpatialWithinCalibrationBand pins it.
+	// Strongly non-uniform activity (one hot group among idle
+	// neighbours) can deviate further — that coupling is precisely the
+	// information the spatial tier adds.
+	SpatialCalibrationBandMV = 30.0
+
+	// SpatialResidualNoiseFrac scales the Eq. 2 NoiseMV term while a
+	// spatial estimator is in force: placement and neighbour-region
+	// coupling — the bulk of what NoiseMV lumps together — are resolved
+	// by the mesh solve, leaving only waveform-level variation.
+	SpatialResidualNoiseFrac = 0.4
+
+	// spatialSolveTolV / spatialSolveMaxIter bound each per-window mesh
+	// solve. Warm-started from the previous window's field a V-cycle
+	// count of 1-2 suffices; the first solve of a session converges
+	// from cold within the iteration budget.
+	spatialSolveTolV    = 1e-4
+	spatialSolveMaxIter = 64
+)
+
+// Spatial is the spatially-resolved DropEstimator: each cycle-window's
+// per-group activity becomes a die current-injection map, one
+// warm-started multigrid solve yields the voltage field, and every
+// group's drop is read back from its own floorplan tiles — so a
+// group's drop depends on where it sits and what its neighbours are
+// doing, the physics the analytic Model's NoiseMV term only
+// approximates statistically.
+//
+// A Spatial owns its pdn.Multigrid session and is NOT safe for
+// concurrent use; the simulator hands each wave shard its own and
+// Resets it at wave boundaries so results are independent of worker
+// count and execution order.
+type Spatial struct {
+	fp      *pdn.Floorplan
+	tileIdx []int // group → floorplan tile index
+	act     pdn.ActivityCurrents
+	mg      *pdn.Multigrid
+	rtog    []float64 // per-tile activity buffer
+	cur     []float64 // injection map buffer
+}
+
+// NewSpatial builds a spatial estimator session over a floorplan.
+// tileIdx maps each macro group to its floorplan tile (the mapping
+// layer's Placement provides it); act supplies the calibrated current
+// densities. The floorplan's own Solver field is ignored — the session
+// keeps a private warm-started multigrid, so a shared geometry-only
+// floorplan (pdn.FloorplanAt) may back many sessions.
+func NewSpatial(fp *pdn.Floorplan, tileIdx []int, act pdn.ActivityCurrents) *Spatial {
+	for g, ti := range tileIdx {
+		if ti < 0 || ti >= len(fp.GroupTiles) {
+			panic(fmt.Sprintf("irdrop: group %d placed on tile %d of %d", g, ti, len(fp.GroupTiles)))
+		}
+	}
+	return &Spatial{
+		fp:      fp,
+		tileIdx: tileIdx,
+		act:     act,
+		mg:      pdn.NewMultigrid(fp.Grid),
+		rtog:    make([]float64, len(fp.GroupTiles)),
+		cur:     make([]float64, fp.Grid.W*fp.Grid.H),
+	}
+}
+
+// Groups returns how many groups the session places (the length
+// EstimateGroups expects).
+func (s *Spatial) Groups() int { return len(s.tileIdx) }
+
+// Reset drops the warm-start field; the next solve converges from the
+// all-Vdd state. The simulator calls it at wave boundaries so every
+// wave's solve sequence is deterministic no matter which shard ran
+// before on the same session.
+func (s *Spatial) Reset() { s.mg.Reset() }
+
+// EstimateGroups implements DropEstimator: inject, solve, read back.
+// Idle groups (act < 0) still draw their tile's static leakage but
+// report drop 0, matching the analytic default's accounting.
+func (s *Spatial) EstimateGroups(act, drop []float64) {
+	if len(act) != len(s.tileIdx) {
+		panic(fmt.Sprintf("irdrop: %d activities for %d placed groups", len(act), len(s.tileIdx)))
+	}
+	for i := range s.rtog {
+		s.rtog[i] = 0
+	}
+	for g, a := range act {
+		if a > 0 {
+			if a > 1 {
+				a = 1
+			}
+			s.rtog[s.tileIdx[g]] = a
+		}
+	}
+	s.fp.CurrentMapInto(s.cur, s.act, s.rtog)
+	v, _ := s.mg.SolveField(s.cur, spatialSolveTolV, spatialSolveMaxIter)
+	grid := s.fp.Grid
+	for g, a := range act {
+		if a < 0 {
+			drop[g] = 0
+			continue
+		}
+		r := s.fp.GroupTiles[s.tileIdx[g]]
+		worst := 0.0
+		for y := r.Y0; y < r.Y1; y++ {
+			row := y * grid.W
+			for x := r.X0; x < r.X1; x++ {
+				if d := grid.Vdd - v[row+x]; d > worst {
+					worst = d
+				}
+			}
+		}
+		drop[g] = worst * 1000
+	}
+}

@@ -1,0 +1,79 @@
+package mapping
+
+import (
+	"math"
+
+	"aim/internal/pdn"
+	"aim/internal/pim"
+)
+
+// Placement ties macro groups to die coordinates: group g occupies
+// floorplan tile g, row-major across the 4f×4f tile array — the same
+// convention Fig. 16's heatmaps use. It is what makes a mapper's
+// choice of group spatially meaningful: two tasks the HR-aware SA
+// co-locates in one group now share a physical tile, and groups the
+// zigzag mapper fills consecutively are physical neighbours, so the
+// spatial drop estimator sees their coupling.
+//
+// The placement is geometry only (no Solver session), so one Placement
+// may back any number of per-shard estimator sessions concurrently.
+type Placement struct {
+	cfg pim.Config
+	fp  *pdn.Floorplan
+	f   int
+}
+
+// NewPlacement places a chip configuration on the smallest die that
+// holds it: the calibrated 64×64 DefaultFloorplan geometry for up to
+// 16 groups, else the ScaledFloorplan geometry at the smallest scale f
+// with 16f² tiles ≥ cfg.Groups (the bump pitch and per-cell current
+// densities are scale-invariant, so the sign-off calibration carries
+// over).
+func NewPlacement(cfg pim.Config) *Placement {
+	f := 1
+	for 16*f*f < cfg.Groups {
+		f++
+	}
+	return &Placement{cfg: cfg, fp: pdn.FloorplanAt(f), f: f}
+}
+
+// Scale returns the die scale factor per edge (1 = the 64×64 die).
+func (p *Placement) Scale() int { return p.f }
+
+// Floorplan returns the geometry-only floorplan backing the placement.
+func (p *Placement) Floorplan() *pdn.Floorplan { return p.fp }
+
+// TileIndex returns the floorplan tile of a group.
+func (p *Placement) TileIndex(group int) int { return group }
+
+// TileIndices returns the per-group tile indices, the form the spatial
+// drop estimator consumes.
+func (p *Placement) TileIndices() []int {
+	out := make([]int, p.cfg.Groups)
+	for g := range out {
+		out[g] = p.TileIndex(g)
+	}
+	return out
+}
+
+// Rect returns the die region a group's macros occupy.
+func (p *Placement) Rect(group int) pdn.Rect {
+	return p.fp.GroupTiles[p.TileIndex(group)]
+}
+
+// Center returns the cell coordinates of a group tile's centre.
+func (p *Placement) Center(group int) (x, y float64) {
+	r := p.Rect(group)
+	return float64(r.X0+r.X1) / 2, float64(r.Y0+r.Y1) / 2
+}
+
+// Distance returns the centre-to-centre Euclidean distance between two
+// groups' tiles, in cells — the coupling proxy a placement-aware
+// mapper can fold into its cost: groups within roughly one bump pitch
+// of each other share return current, so co-scheduling two high-Rtog
+// MacroSets next to each other deepens both of their drops.
+func (p *Placement) Distance(a, b int) float64 {
+	ax, ay := p.Center(a)
+	bx, by := p.Center(b)
+	return math.Hypot(ax-bx, ay-by)
+}

@@ -1,0 +1,97 @@
+package mapping
+
+import (
+	"testing"
+
+	"aim/internal/pim"
+)
+
+// TestPlacementDefaultChip: the paper's 16-group chip lands on the
+// calibrated 64×64 die, one group per tile, row-major.
+func TestPlacementDefaultChip(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	p := NewPlacement(cfg)
+	if p.Scale() != 1 {
+		t.Fatalf("scale = %d, want 1", p.Scale())
+	}
+	fp := p.Floorplan()
+	if fp.Solver != nil {
+		t.Error("placement floorplans are geometry-only")
+	}
+	if len(fp.GroupTiles) != 16 {
+		t.Fatalf("tiles = %d, want 16", len(fp.GroupTiles))
+	}
+	idx := p.TileIndices()
+	if len(idx) != cfg.Groups {
+		t.Fatalf("indices = %d, want %d", len(idx), cfg.Groups)
+	}
+	for g, ti := range idx {
+		if ti != g {
+			t.Errorf("group %d on tile %d, want row-major identity", g, ti)
+		}
+		if p.Rect(g) != fp.GroupTiles[ti] {
+			t.Errorf("group %d rect mismatch", g)
+		}
+	}
+}
+
+// TestPlacementScalesUp: more groups than the default die holds picks
+// the smallest scaled die that fits them.
+func TestPlacementScalesUp(t *testing.T) {
+	cases := []struct {
+		groups, scale, tiles int
+	}{
+		{1, 1, 16},
+		{16, 1, 16},
+		{17, 2, 64},
+		{64, 2, 64},
+		{65, 3, 144},
+		{256, 4, 256},
+	}
+	for _, c := range cases {
+		cfg := pim.DefaultConfig()
+		cfg.Groups = c.groups
+		p := NewPlacement(cfg)
+		if p.Scale() != c.scale {
+			t.Errorf("groups %d: scale = %d, want %d", c.groups, p.Scale(), c.scale)
+		}
+		if got := len(p.Floorplan().GroupTiles); got != c.tiles {
+			t.Errorf("groups %d: tiles = %d, want %d", c.groups, got, c.tiles)
+		}
+	}
+}
+
+// TestPlacementGeometry: adjacent groups in a row are nearer than
+// groups a row apart and rects never overlap — the invariants that
+// make group indices spatially meaningful for a placement-aware
+// mapper.
+func TestPlacementGeometry(t *testing.T) {
+	p := NewPlacement(pim.DefaultConfig())
+	// Groups 0..3 are row 0; group 4 opens row 1 on the 4-wide array.
+	// Tile pitch is 15 cells horizontally and 12 vertically, so both
+	// kinds of neighbour sit closer than the diagonal.
+	if d01 := p.Distance(0, 1); d01 != 15 {
+		t.Errorf("row-neighbour distance = %v, want the 15-cell tile pitch", d01)
+	}
+	if d04 := p.Distance(0, 4); d04 != 12 {
+		t.Errorf("column-neighbour distance = %v, want the 12-cell tile pitch", d04)
+	}
+	if d05 := p.Distance(0, 5); d05 <= p.Distance(0, 1) || d05 <= p.Distance(0, 4) {
+		t.Errorf("diagonal distance %v should exceed both neighbour pitches", d05)
+	}
+	if p.Distance(3, 3) != 0 {
+		t.Error("self distance must be 0")
+	}
+	for a := 0; a < 16; a++ {
+		ra := p.Rect(a)
+		if ra.Cells() <= 0 {
+			t.Fatalf("group %d has empty tile", a)
+		}
+		for b := a + 1; b < 16; b++ {
+			rb := p.Rect(b)
+			if ra.X0 < rb.X1 && rb.X0 < ra.X1 && ra.Y0 < rb.Y1 && rb.Y0 < ra.Y1 {
+				t.Fatalf("groups %d and %d overlap", a, b)
+			}
+		}
+	}
+}

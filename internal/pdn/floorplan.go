@@ -1,6 +1,9 @@
 package pdn
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Floorplan is the layout of the paper's 7nm 256-TOPS PIM chip
 // (Fig. 16): two RISC-V cores and on-chip memory along one edge, and a
@@ -19,6 +22,11 @@ type Floorplan struct {
 	// solver. Solvers carry state; a Floorplan with a Solver is not
 	// safe for concurrent SolveActivity calls.
 	Solver Solver
+
+	// solving guards the Solver session: racing SolveActivity calls
+	// would silently corrupt the warm-start field, so the misuse is
+	// turned into a deterministic panic instead (see SolveActivity).
+	solving atomic.Bool
 }
 
 // ActivityCurrents are the per-component current densities (amps per
@@ -62,12 +70,20 @@ func DefaultFloorplan() *Floorplan {
 // budget allows. ScaledFloorplan(1) has DefaultFloorplan's geometry
 // but the production solver.
 func ScaledFloorplan(f int) *Floorplan {
+	fp := FloorplanAt(f)
+	fp.Solver = NewMultigrid(fp.Grid)
+	return fp
+}
+
+// FloorplanAt returns the floorplan geometry at scale f with no
+// attached Solver — the layout source for callers that bring their own
+// solver session (the simulator's per-shard spatial drop estimators).
+// FloorplanAt(1) is DefaultFloorplan's geometry.
+func FloorplanAt(f int) *Floorplan {
 	if f < 1 {
 		panic(fmt.Sprintf("pdn: non-positive floorplan scale %d", f))
 	}
-	fp := floorplanGeometry(f)
-	fp.Solver = NewMultigrid(fp.Grid)
-	return fp
+	return floorplanGeometry(f)
 }
 
 // floorplanGeometry lays out the scaled die. At f=1 every coordinate
@@ -93,10 +109,25 @@ func floorplanGeometry(f int) *Floorplan {
 // CurrentMap builds the injection map for the given per-group Rtog
 // activities (length = len(GroupTiles); values in [0,1]).
 func (fp *Floorplan) CurrentMap(act ActivityCurrents, groupRtog []float64) []float64 {
+	cur := make([]float64, fp.Grid.W*fp.Grid.H)
+	fp.CurrentMapInto(cur, act, groupRtog)
+	return cur
+}
+
+// CurrentMapInto is CurrentMap into a caller-owned buffer of length
+// W*H — the per-cycle spatial drop estimators rebuild the injection
+// map thousands of times per simulated run, so the hot path must not
+// allocate one.
+func (fp *Floorplan) CurrentMapInto(cur []float64, act ActivityCurrents, groupRtog []float64) {
 	if len(groupRtog) != len(fp.GroupTiles) {
 		panic(fmt.Sprintf("pdn: %d group activities for %d tiles", len(groupRtog), len(fp.GroupTiles)))
 	}
-	cur := make([]float64, fp.Grid.W*fp.Grid.H)
+	if len(cur) != fp.Grid.W*fp.Grid.H {
+		panic(fmt.Sprintf("pdn: current buffer size %d != %d", len(cur), fp.Grid.W*fp.Grid.H))
+	}
+	for i := range cur {
+		cur[i] = 0
+	}
 	fill := func(r Rect, amps float64) {
 		perCell := amps
 		for y := r.Y0; y < r.Y1; y++ {
@@ -114,7 +145,6 @@ func (fp *Floorplan) CurrentMap(act ActivityCurrents, groupRtog []float64) []flo
 		}
 		fill(r, act.MacroStatic+act.MacroDynamicAtFull*rt)
 	}
-	return cur
 }
 
 // SolveActivity is the convenience path: build the current map, solve,
@@ -122,10 +152,20 @@ func (fp *Floorplan) CurrentMap(act ActivityCurrents, groupRtog []float64) []flo
 // Successive calls on a Solver-equipped floorplan warm-start from the
 // previous voltage field — the repeated-solve pattern of per-group
 // Rtog sweeps and V-f calibration.
+//
+// A Floorplan with a Solver is a stateful session and must not be
+// shared across goroutines: racing calls would interleave warm-start
+// reads and writes and corrupt the field silently. The session guard
+// turns that misuse into a panic. The Solver-less reference path
+// builds a fresh relaxation per call and stays safe to share.
 func (fp *Floorplan) SolveActivity(act ActivityCurrents, groupRtog []float64) (drop []float64, worstMacroDrop float64) {
 	cur := fp.CurrentMap(act, groupRtog)
 	var v []float64
 	if fp.Solver != nil {
+		if !fp.solving.CompareAndSwap(false, true) {
+			panic("pdn: concurrent SolveActivity on a Floorplan with a Solver session (give each goroutine its own Floorplan)")
+		}
+		defer fp.solving.Store(false)
 		v, _ = fp.Solver.Solve(cur, 1e-6, 4000)
 	} else {
 		v, _ = fp.Grid.Solve(cur, 1e-6, 4000)

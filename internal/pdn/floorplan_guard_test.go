@@ -1,0 +1,180 @@
+package pdn
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// blockingSolver is a Solver stub that parks inside Solve until
+// released, so the misuse test can hold one SolveActivity open
+// deterministically.
+type blockingSolver struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+	g       *Grid
+}
+
+func (b *blockingSolver) Solve(current []float64, tol float64, maxIter int) ([]float64, int) {
+	b.once.Do(func() {
+		close(b.entered)
+		<-b.release
+	})
+	v := make([]float64, b.g.W*b.g.H)
+	for i := range v {
+		v[i] = b.g.Vdd
+	}
+	return v, 1
+}
+
+// TestSolveActivityConcurrentMisuseGuard pins the documented "a
+// Floorplan with a Solver is not safe for concurrent SolveActivity"
+// contract: now that the spatial simulator hands out per-worker solver
+// sessions, a shared session racing two solves must fail loudly
+// instead of silently corrupting the warm-start field.
+func TestSolveActivityConcurrentMisuseGuard(t *testing.T) {
+	fp := FloorplanAt(1)
+	bs := &blockingSolver{entered: make(chan struct{}), release: make(chan struct{}), g: fp.Grid}
+	fp.Solver = bs
+	act := DefaultActivity()
+	rt := make([]float64, len(fp.GroupTiles))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fp.SolveActivity(act, rt) // parks inside the stub solver
+	}()
+	<-bs.entered
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("concurrent SolveActivity on a Solver session must panic")
+				return
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "concurrent SolveActivity") {
+				t.Errorf("panic %v, want the concurrent-misuse diagnostic", r)
+			}
+		}()
+		fp.SolveActivity(act, rt)
+	}()
+	close(bs.release)
+	wg.Wait()
+
+	// The guard releases with the first call: sequential reuse stays fine.
+	if _, worst := fp.SolveActivity(act, rt); worst < 0 {
+		t.Fatal("sequential reuse after the race must work")
+	}
+}
+
+// TestSolverlessFloorplanSafeConcurrently: the Gauss-Seidel reference
+// path builds a fresh relaxation per call and must remain shareable —
+// the byte-stable Fig. 16 path relies on it.
+func TestSolverlessFloorplanSafeConcurrently(t *testing.T) {
+	fp := DefaultFloorplan()
+	act := DefaultActivity()
+	rt := make([]float64, len(fp.GroupTiles))
+	for i := range rt {
+		rt[i] = 0.3
+	}
+	var wg sync.WaitGroup
+	worsts := make([]float64, 4)
+	for i := range worsts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, worsts[i] = fp.SolveActivity(act, rt)
+		}(i)
+	}
+	wg.Wait()
+	for _, w := range worsts[1:] {
+		if w != worsts[0] {
+			t.Fatalf("concurrent reference solves disagree: %v", worsts)
+		}
+	}
+}
+
+// TestFloorplanAtMatchesDefaultGeometry: FloorplanAt(1) is exactly the
+// DefaultFloorplan layout with no solver attached.
+func TestFloorplanAtMatchesDefaultGeometry(t *testing.T) {
+	a, d := FloorplanAt(1), DefaultFloorplan()
+	if a.Solver != nil {
+		t.Error("FloorplanAt must not attach a solver")
+	}
+	if a.Grid.W != d.Grid.W || a.Grid.H != d.Grid.H || a.Cores != d.Cores || a.Memory != d.Memory {
+		t.Error("FloorplanAt(1) geometry diverges from DefaultFloorplan")
+	}
+	if len(a.GroupTiles) != len(d.GroupTiles) {
+		t.Fatalf("tile count %d != %d", len(a.GroupTiles), len(d.GroupTiles))
+	}
+	for i := range a.GroupTiles {
+		if a.GroupTiles[i] != d.GroupTiles[i] {
+			t.Fatalf("tile %d differs", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FloorplanAt(0) must panic")
+		}
+	}()
+	FloorplanAt(0)
+}
+
+// TestCurrentMapIntoMatchesCurrentMap: the buffer-reusing hot path is
+// the same map, including when the buffer held stale data.
+func TestCurrentMapIntoMatchesCurrentMap(t *testing.T) {
+	fp := FloorplanAt(1)
+	act := DefaultActivity()
+	rt := make([]float64, len(fp.GroupTiles))
+	for i := range rt {
+		rt[i] = float64(i) / float64(len(rt))
+	}
+	want := fp.CurrentMap(act, rt)
+	got := make([]float64, len(want))
+	for i := range got {
+		got[i] = 99 // stale garbage the Into path must clear
+	}
+	fp.CurrentMapInto(got, act, rt)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer must panic")
+		}
+	}()
+	fp.CurrentMapInto(make([]float64, 3), act, rt)
+}
+
+// TestSolveFieldMatchesSolve: the no-copy entry point returns the same
+// bits as Solve and the same slice across calls (the warm field).
+func TestSolveFieldMatchesSolve(t *testing.T) {
+	fp := FloorplanAt(1)
+	act := DefaultActivity()
+	rt := make([]float64, len(fp.GroupTiles))
+	for i := range rt {
+		rt[i] = 0.4
+	}
+	cur := fp.CurrentMap(act, rt)
+	a := NewMultigrid(fp.Grid)
+	b := NewMultigrid(fp.Grid)
+	va, ia := a.Solve(cur, 1e-6, 100)
+	vb, ib := b.SolveField(cur, 1e-6, 100)
+	if ia != ib {
+		t.Fatalf("iterations %d != %d", ia, ib)
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("cell %d: %v != %v", i, va[i], vb[i])
+		}
+	}
+	vb2, _ := b.SolveField(cur, 1e-6, 100)
+	if &vb[0] != &vb2[0] {
+		t.Error("SolveField must reuse the internal warm field, not copy")
+	}
+}

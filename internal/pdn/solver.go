@@ -190,6 +190,19 @@ func (m *Multigrid) Reset() { m.v = nil }
 // maxIter cycles elapse. It returns a copy of the voltage field and
 // the number of cycles used.
 func (m *Multigrid) Solve(current []float64, tol float64, maxIter int) ([]float64, int) {
+	v, iter := m.SolveField(current, tol, maxIter)
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out, iter
+}
+
+// SolveField is Solve without the defensive copy: the returned slice
+// is the solver's internal warm-start field, valid only until the next
+// Solve/SolveField/Reset call on this instance. The per-cycle spatial
+// drop estimators read the field immediately after each solve — one
+// field copy per simulated cycle would dominate their allocation
+// profile. Callers that retain the field must use Solve.
+func (m *Multigrid) SolveField(current []float64, tol float64, maxIter int) ([]float64, int) {
 	g := m.g
 	n := g.W * g.H
 	if len(current) != n {
@@ -211,9 +224,7 @@ func (m *Multigrid) Solve(current []float64, tol float64, maxIter int) ([]float6
 			break
 		}
 	}
-	out := make([]float64, n)
-	copy(out, m.v)
-	return out, iter
+	return m.v, iter
 }
 
 // cycle runs one V-cycle at the given level and returns the largest

@@ -44,8 +44,14 @@ type Request struct {
 	// Parallel bounds the per-request wave-sharding pool (default 1:
 	// a serving fleet gets its parallelism from concurrent requests,
 	// not intra-request sharding). Results are bit-identical for any
-	// value.
+	// value; negative values are rejected.
 	Parallel int
+	// Fidelity selects the simulator's modelling tier (runtime knob,
+	// default sim.AnalyticToggles; NOT part of the plan key — plans
+	// compile identically at every tier, so one cached plan serves
+	// analytic, packed and spatial requests alike). Unknown values are
+	// rejected at admission.
+	Fidelity sim.Fidelity
 }
 
 // normalize applies defaults, validates the compile-relevant knobs and
@@ -74,6 +80,13 @@ func (r Request) normalize() (Request, Key, error) {
 	}
 	if r.Parallel == 0 {
 		r.Parallel = 1
+	}
+	if r.Parallel < 0 {
+		return r, Key{}, fmt.Errorf("serve: negative parallel %d", r.Parallel)
+	}
+	if !r.Fidelity.Valid() {
+		return r, Key{}, fmt.Errorf("serve: unknown fidelity %d (want %v, %v or %v)",
+			int(r.Fidelity), sim.AnalyticToggles, sim.PackedToggles, sim.SpatialPDN)
 	}
 	d, err := core.ResolveWDSDelta(r.Delta)
 	if err != nil {
@@ -277,6 +290,7 @@ func (s *Server) pipelineFor(r Request) *core.Pipeline {
 	p.Bits = r.Bits
 	p.WDSDelta = r.Delta
 	p.Parallel = r.Parallel
+	p.Fidelity = r.Fidelity
 	p.Warm = s.warm
 	return p
 }

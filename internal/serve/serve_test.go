@@ -12,6 +12,7 @@ import (
 
 	"aim/internal/core"
 	"aim/internal/model"
+	"aim/internal/sim"
 	"aim/internal/vf"
 )
 
@@ -105,10 +106,17 @@ func TestRequestNormalize(t *testing.T) {
 			req:  Request{Network: "gpt2", Mode: vf.LowPower, Delta: 8, Beta: 25, Seed: 7, Bits: 4, Parallel: 3},
 			want: Request{Network: "gpt2", Mode: vf.LowPower, Beta: 25, Bits: 4, Delta: 8, Seed: 7, Parallel: 3},
 		},
+		{
+			name: "spatial fidelity is runtime-only",
+			req:  Request{Network: "resnet18", Mode: vf.LowPower, Fidelity: sim.SpatialPDN},
+			want: Request{Network: "resnet18", Mode: vf.LowPower, Beta: 50, Bits: 8, Delta: 16, Seed: 1, Parallel: 1, Fidelity: sim.SpatialPDN},
+		},
 		{name: "non-pow2 delta", req: Request{Network: "resnet18", Mode: vf.LowPower, Delta: 12}, wantErr: true},
 		{name: "negative delta", req: Request{Network: "resnet18", Mode: vf.LowPower, Delta: -2}, wantErr: true},
 		{name: "bad bits", req: Request{Network: "resnet18", Mode: vf.LowPower, Bits: 40}, wantErr: true},
 		{name: "bad mode", req: Request{Network: "resnet18", Mode: vf.Mode(9)}, wantErr: true},
+		{name: "bad fidelity", req: Request{Network: "resnet18", Mode: vf.LowPower, Fidelity: sim.Fidelity(9)}, wantErr: true},
+		{name: "negative parallel", req: Request{Network: "resnet18", Mode: vf.LowPower, Parallel: -1}, wantErr: true},
 	}
 	for _, c := range cases {
 		got, key, err := c.req.normalize()
@@ -306,5 +314,39 @@ func TestTokensPerSecReference(t *testing.T) {
 	}
 	if got := EnergyPerTokenMJ(3, 0); got != 0 {
 		t.Errorf("EnergyPerTokenMJ at zero TOPS = %v, want 0", got)
+	}
+}
+
+// TestFidelitySharesPlanCache: the fidelity tier is a runtime knob —
+// an analytic and a spatial request for the same deployment point hit
+// one cached plan (one compile), and the tiers report different
+// runtime behaviour off that shared artifact.
+func TestFidelitySharesPlanCache(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	base := Request{Network: "mobilenetv2", Mode: vf.LowPower}
+	analytic, err := s.Submit(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spatial := base
+	spatial.Fidelity = sim.SpatialPDN
+	spatialResp, err := s.Submit(context.Background(), spatial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Compiles != 1 {
+		t.Errorf("compiles = %d, want 1 (fidelity must not fork the plan cache)", st.Compiles)
+	}
+	if st.PlanHits < 1 {
+		t.Errorf("plan hits = %d, want >= 1", st.PlanHits)
+	}
+	a, b := analytic.Report.AIM.Result, spatialResp.Report.AIM.Result
+	if a.AvgDropMV == b.AvgDropMV && a.Failures == b.Failures {
+		t.Error("spatial tier should change runtime drop behaviour versus analytic")
+	}
+	if b.WorstDropMV <= 0 {
+		t.Errorf("spatial tier reported empty drops: %+v", b)
 	}
 }

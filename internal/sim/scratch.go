@@ -3,6 +3,9 @@ package sim
 import (
 	"sync"
 
+	"aim/internal/irdrop"
+	"aim/internal/mapping"
+	"aim/internal/pdn"
 	"aim/internal/pim"
 	"aim/internal/stream"
 	"aim/internal/xrand"
@@ -80,6 +83,12 @@ type waveScratch struct {
 	opIntN   int
 	opInt64N int
 	opFloatN int
+	// spatial is the shard's SpatialPDN estimator session: the PDN
+	// mesh, its warm-started multigrid hierarchy and the injection
+	// buffers, all of which would otherwise be rebuilt per wave. The
+	// session is Reset at every wave boundary, so pooling it never
+	// changes a solved bit — it only skips the hierarchy construction.
+	spatial *irdrop.Spatial
 }
 
 // pooledSlice returns a zeroed slice of length n from a high-water
@@ -179,6 +188,28 @@ func (s *waveScratch) nextWave() {
 	}
 	s.bankN, s.wordN, s.byteN, s.togN = 0, 0, 0, 0
 	s.opIntN, s.opInt64N, s.opFloatN = 0, 0, 0
+}
+
+// spatialEstimator returns the shard's SpatialPDN session, building it
+// on first use (or when the chip geometry changed). The nil-scratch
+// serial reference path builds a fresh session per wave.
+func (s *waveScratch) spatialEstimator(cfg pim.Config) *irdrop.Spatial {
+	if s == nil {
+		return newSpatialEstimator(cfg)
+	}
+	if s.spatial == nil || s.spatial.Groups() != cfg.Groups {
+		s.spatial = newSpatialEstimator(cfg)
+	}
+	return s.spatial
+}
+
+// newSpatialEstimator places the chip's groups on the smallest die
+// that holds them (mapping.NewPlacement) and wraps the placement in a
+// warm-started mesh-solver session with the calibrated current
+// densities.
+func newSpatialEstimator(cfg pim.Config) *irdrop.Spatial {
+	pl := mapping.NewPlacement(cfg)
+	return irdrop.NewSpatial(pl.Floorplan(), pl.TileIndices(), pdn.DefaultActivity())
 }
 
 // bank pools pim.Bank construction.

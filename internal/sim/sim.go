@@ -44,10 +44,18 @@ type Options struct {
 	// own xrand shard stream, so the result is bit-identical for any
 	// worker count — parallelism is purely a wall-clock knob.
 	Parallel int
-	// Fidelity selects the per-cycle activity engine: AnalyticToggles
-	// (default, rtog = flip-intensity × HR) or PackedToggles (the
-	// word-wise Eq. 1 engine over synthetic packed weight banks).
-	Fidelity ToggleFidelity
+	// Fidelity selects the modelling tier: AnalyticToggles (default,
+	// rtog = flip-intensity × HR, scalar Eq. 2 drops), PackedToggles
+	// (the word-wise Eq. 1 engine over synthetic packed weight banks)
+	// or SpatialPDN (packed activity feeding per-cycle-window
+	// multigrid solves of the power-delivery mesh, drops read from
+	// each group's floorplan tiles).
+	Fidelity Fidelity
+	// SpatialWindow is the SpatialPDN solve cadence in cycles (0 =
+	// DefaultSpatialWindow). Within a window the solved field is held,
+	// like the §5.5.2 monitors' sampling period; smaller windows track
+	// activity more tightly at proportionally more solver time.
+	SpatialWindow int
 	// Warm, when non-nil, pools the per-worker scratch across Run calls
 	// (a serving runtime executing many requests). Ignored on the
 	// serial reference path; results are bit-identical either way.
@@ -120,6 +128,12 @@ type Result struct {
 // guardSigma: the monitor flags IRFailure when the observed drop
 // exceeds the level's sign-off drop by this many noise sigmas.
 const guardSigma = 2.5
+
+// DefaultSpatialWindow is the SpatialPDN mesh-solve cadence: one
+// warm-started solve every this many cycles. Four cycles matches the
+// VCO monitor integration window, and benchmarks show it keeps the
+// spatial tier within the ≤5x-of-PackedToggles wall-clock budget.
+const DefaultSpatialWindow = 4
 
 // Run executes the compiled workload. The wave schedule is sharded
 // over a bounded worker pool (see Options.Parallel): each wave is an

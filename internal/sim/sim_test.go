@@ -214,7 +214,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestWarmStateMatchesSerial(t *testing.T) {
 	_, aim, net := compileBoth(t, "resnet18")
 	cfg := pim.DefaultConfig()
-	for _, fidelity := range []ToggleFidelity{AnalyticToggles, PackedToggles} {
+	for _, fidelity := range []Fidelity{AnalyticToggles, PackedToggles} {
 		serialOpt := DefaultOptions(net.Transformer, vf.LowPower)
 		serialOpt.Parallel = 1
 		serialOpt.Fidelity = fidelity

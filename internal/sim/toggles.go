@@ -1,30 +1,78 @@
 package sim
 
 import (
+	"fmt"
+
 	"aim/internal/irdrop"
 	"aim/internal/pim"
 	"aim/internal/stream"
 	"aim/internal/xrand"
 )
 
-// ToggleFidelity selects how the wave loop produces per-cycle macro
-// activity (Rtog).
-type ToggleFidelity int
+// Fidelity selects the simulator's modelling tier: how the wave loop
+// produces per-cycle macro activity (Rtog) and how that activity
+// becomes a per-group IR-drop (the irdrop.DropEstimator layer).
+type Fidelity int
 
 const (
-	// AnalyticToggles models each task's Rtog as flip-intensity × HR —
+	// AnalyticToggles models each task's Rtog as flip-intensity × HR
+	// and each group's drop as the scalar Eq. 2 of its own activity —
 	// the fast closed-form default, bit-identical to the historical
 	// simulator.
-	AnalyticToggles ToggleFidelity = iota
+	AnalyticToggles Fidelity = iota
 	// PackedToggles runs the microarchitectural Eq. 1 engine instead:
 	// every occupied task gets a synthetic weight bank at its HR, each
 	// group draws packed Bernoulli toggles on its shared input lines,
 	// and Rtog is the word-wise AND+popcount of toggles against the
 	// stored bit planes. E[Rtog] still equals flip-intensity × HR, but
 	// the per-cycle value carries the real binomial cell-level
-	// variance the analytic model averages away.
+	// variance the analytic model averages away. Drops stay scalar
+	// Eq. 2.
 	PackedToggles
+	// SpatialPDN is the top tier: PackedToggles activity feeding the
+	// spatially-resolved drop estimator — per cycle-window the group
+	// activity vector becomes a die current map, one warm-started
+	// multigrid V-cycle solves the power-delivery mesh, and each
+	// group's drop is read from its own floorplan tiles, so real
+	// neighbour coupling replaces most of the analytic NoiseMV term.
+	// Each wave shard owns its own solver session; results are
+	// bit-identical for any worker count.
+	SpatialPDN
 )
+
+// Valid reports whether f names a fidelity tier.
+func (f Fidelity) Valid() bool { return f >= AnalyticToggles && f <= SpatialPDN }
+
+// ParseFidelity resolves a tier's CLI spelling (the String values;
+// "" means the analytic default). It is the single string↔tier
+// mapping the public API and the CLIs share.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "analytic", "":
+		return AnalyticToggles, nil
+	case "packed":
+		return PackedToggles, nil
+	case "spatial":
+		return SpatialPDN, nil
+	default:
+		return 0, fmt.Errorf("unknown fidelity %q (want %q, %q or %q)",
+			s, AnalyticToggles, PackedToggles, SpatialPDN)
+	}
+}
+
+// String names the tier the way the CLIs spell it.
+func (f Fidelity) String() string {
+	switch f {
+	case AnalyticToggles:
+		return "analytic"
+	case PackedToggles:
+		return "packed"
+	case SpatialPDN:
+		return "spatial"
+	default:
+		return fmt.Sprintf("fidelity(%d)", int(f))
+	}
+}
 
 // groupToggles is one macro group's PackedToggles engine: the shared
 // packed input-line toggles plus a synthetic bank per occupied task.
@@ -113,10 +161,21 @@ func (gt *groupToggles) rtog(i int) float64 {
 	return float64(ones) / float64(gt.totalBits)
 }
 
-// drop returns the cycle's deterministic Eq. 2 group drop. The packed
-// path hands the raw popcount straight to the drop model
-// (irdrop.EstimateCounts); the byte reference goes through the
-// pre-divided Rtog — the two are bit-identical.
+// activity returns the cycle's worst-task Rtog — the group's entry in
+// the DropEstimator activity vector. The packed path divides the raw
+// worst popcount exactly as irdrop.EstimateCounts historically did, so
+// the estimator layer's Estimate(activity()) is bit-identical to the
+// old inline drop computation; the byte reference reports its
+// pre-divided Rtog, likewise bit-identical.
+func (gt *groupToggles) activity() float64 {
+	if gt.bytes != nil {
+		return gt.worstRtog
+	}
+	return float64(gt.worstOnes) / float64(gt.totalBits)
+}
+
+// drop returns the cycle's deterministic Eq. 2 group drop via the
+// analytic model — retained for the packed/byte equivalence tests.
 func (gt *groupToggles) drop(m irdrop.Model) float64 {
 	if gt.bytes != nil {
 		return m.Estimate(gt.worstRtog)

@@ -125,7 +125,7 @@ func TestPackedFidelityPlausible(t *testing.T) {
 	}
 }
 
-func benchSimFidelity(b *testing.B, fidelity ToggleFidelity, bytesRef bool, parallel int) {
+func benchSimFidelity(b *testing.B, fidelity Fidelity, bytesRef bool, parallel int) {
 	net, err := model.ByName("resnet18", seed)
 	if err != nil {
 		b.Fatal(err)

@@ -24,16 +24,50 @@ type groupRun struct {
 	pair       vf.Pair
 	tolerated  float64 // mV, the monitor threshold for the current level
 	monitor    *irdrop.Monitor
+	// active marks the cycle's "any unstalled task" state, staged by
+	// the activity pass for the effects pass.
+	active bool
 }
 
 // runWave simulates one scheduled wave for opt.CyclesPerWave cycles.
 // scratch, when non-nil, supplies a chunk worker's reusable buffers
 // (see waveScratch); nil keeps the historical allocate-per-wave
 // reference behaviour.
+//
+// Drop estimation goes through the pluggable irdrop.DropEstimator
+// layer: each cycle the activity pass stages every occupied group's
+// worst Rtog (and its monitor-noise draw), the estimator maps the
+// whole activity vector to per-group drops, and the effects pass
+// applies monitors, IR-Booster and the metric accounting. The split
+// preserves the historical per-group RNG draw order exactly — toggle
+// words then one Normal per group — so the analytic and packed tiers
+// are bit-identical to the old single-pass loop, while the spatial
+// tier gets what it needs: the full group vector in one call, because
+// a mesh solve couples every group's drop to all the others' activity.
 func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, power vf.PowerModel, opt Options, rng *xrand.RNG, trace bool, scratch *waveScratch) waveResult {
 	scratch.nextWave()
 	tasks := w.Tasks
 	numOps := len(w.Plans)
+
+	// The estimator layer. The analytic Model is the default tier;
+	// SpatialPDN swaps in the shard's warm-started PDN session, solved
+	// once per cycle-window, with the residual noise sigma replacing
+	// NoiseMV (the mesh resolves the placement and coupling effects
+	// NoiseMV lumps together).
+	var est irdrop.DropEstimator = m
+	noiseMV := m.NoiseMV
+	window := 1
+	if opt.Fidelity == SpatialPDN {
+		sp := scratch.spatialEstimator(cfg)
+		// A cold field per wave: results must not depend on which wave
+		// this shard's session solved before.
+		sp.Reset()
+		est = sp
+		noiseMV = m.NoiseMV * irdrop.SpatialResidualNoiseFrac
+		if window = opt.SpatialWindow; window <= 0 {
+			window = DefaultSpatialWindow
+		}
+	}
 
 	// Build group states from the wave's mapping.
 	groups, engines := scratch.groupSlices(cfg.Groups)
@@ -66,7 +100,7 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 			// Traditional DVFS holds the worst-case sign-off point.
 			gr.pair = table.DVFS()
 		}
-		gr.tolerated = m.Estimate(gr.level.Rtog()) + guardSigma*m.NoiseMV
+		gr.tolerated = m.Estimate(gr.level.Rtog()) + guardSigma*noiseMV
 		gr.monitor = irdrop.NewMonitor(vf.NominalV*1000, gr.tolerated)
 		groups[g] = gr
 	}
@@ -97,11 +131,11 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 		}
 	}
 
-	// PackedToggles fidelity: build each occupied group's synthetic
-	// packed-bank engine. Construction draws from the wave RNG in group
-	// then occupied-task order, so results stay deterministic under
-	// wave sharding.
-	if opt.Fidelity != PackedToggles {
+	// PackedToggles and SpatialPDN fidelity: build each occupied
+	// group's synthetic packed-bank engine. Construction draws from
+	// the wave RNG in group then occupied-task order, so results stay
+	// deterministic under wave sharding.
+	if opt.Fidelity != PackedToggles && opt.Fidelity != SpatialPDN {
 		engines = nil
 	} else {
 		for g, gr := range groups {
@@ -130,6 +164,12 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 	for _, t := range tasks {
 		opTasks[t.OpID]++
 	}
+	// Per-cycle estimator staging: group activity in, group drops out,
+	// with the monitor-noise draws staged beside them so splitting the
+	// loop does not move a single RNG draw.
+	act := scratch.floatSlice(cfg.Groups)
+	noise := scratch.floatSlice(cfg.Groups)
+	drops := scratch.floatSlice(cfg.Groups)
 
 	for cyc := 0; cyc < opt.CyclesPerWave; cyc++ {
 		p := rng.Normal(opt.ToggleMean, opt.ToggleSigma)
@@ -139,9 +179,14 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 		if p > 1 {
 			p = 1
 		}
-		cycleWorstDrop := 0.0
 		cyclePower := 0.0
+		// Activity pass: engines draw this cycle's toggles, tasks
+		// accumulate power at the group's in-force V-f pair, and each
+		// occupied group stages its worst Rtog plus one noise draw.
+		// Per-group RNG consumption (toggle words, then one Normal) is
+		// draw-for-draw the historical single-pass order.
 		for g, gr := range groups {
+			act[g] = -1
 			if gr == nil {
 				continue
 			}
@@ -153,14 +198,14 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 			}
 			worstRtog := 0.0
 			groupPower := 0.0
-			activeAny := false
+			gr.active = false
 			for oi, ti := range gr.occupied {
 				op := tasks[ti].OpID
 				if opStall[op] > 0 {
 					groupPower += power.MacroPowerMW(gr.pair, 0) // bubble: leakage only
 					continue
 				}
-				activeAny = true
+				gr.active = true
 				var rtog float64
 				if eng != nil {
 					rtog = eng.rtog(oi)
@@ -172,15 +217,34 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 				}
 				groupPower += power.MacroPowerMW(gr.pair, rtog)
 			}
-			// The deterministic Eq. 2 drop feeds the reported metrics;
-			// the monitor additionally sees cycle noise.
-			var drop float64
 			if eng != nil {
-				drop = eng.drop(m)
+				act[g] = eng.activity()
 			} else {
-				drop = m.Estimate(worstRtog)
+				act[g] = worstRtog
 			}
-			dropNoisy := drop + rng.Normal(0, m.NoiseMV)
+			noise[g] = rng.Normal(0, noiseMV)
+			cyclePower += groupPower
+			res.powerSum += groupPower
+			res.macroCycles += float64(len(gr.occupied))
+		}
+		// Estimation: the deterministic per-group drops feed the
+		// reported metrics; the monitors additionally see the staged
+		// cycle noise. The analytic tier re-estimates every cycle; the
+		// spatial tier re-solves the mesh once per window and holds the
+		// field between solves (the monitor sampling cadence of
+		// §5.5.2), which is what lets one warm V-cycle amortize.
+		if cyc%window == 0 {
+			est.EstimateGroups(act, drops)
+		}
+		// Effects pass: metric accounting, IRFailure monitors and
+		// IR-Booster level adjustment, in the historical group order.
+		cycleWorstDrop := 0.0
+		for g, gr := range groups {
+			if gr == nil {
+				continue
+			}
+			drop := drops[g]
+			dropNoisy := drop + noise[g]
 			if dropNoisy < 0 {
 				dropNoisy = 0
 			}
@@ -194,12 +258,9 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 			res.dropCount++
 			res.levelRtogSum += gr.level.Rtog()
 			res.levelCount++
-			cyclePower += groupPower
-			res.powerSum += groupPower
-			res.macroCycles += float64(len(gr.occupied))
 
 			fail := false
-			if opt.UseBooster && activeAny {
+			if opt.UseBooster && gr.active {
 				fail = gr.monitor.Sample(dropNoisy)
 			}
 			if fail {
@@ -215,7 +276,7 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 				if newLevel != gr.level {
 					gr.level = newLevel
 					gr.pair = table.PairFor(gr.level, opt.Mode)
-					gr.tolerated = m.Estimate(gr.level.Rtog()) + guardSigma*m.NoiseMV
+					gr.tolerated = m.Estimate(gr.level.Rtog()) + guardSigma*noiseMV
 					gr.monitor.SetToleratedDrop(gr.tolerated)
 					// Frequency synchronization: peers hosting the same
 					// ops observe the change (Algorithm 2 lines 11-13).

@@ -55,6 +55,10 @@ func request(cfg Config) (serve.Request, error) {
 	if err != nil {
 		return serve.Request{}, err
 	}
+	fidelity, err := cfg.Fidelity.internal()
+	if err != nil {
+		return serve.Request{}, err
+	}
 	return serve.Request{
 		Network:  cfg.Network,
 		Mode:     mode,
@@ -63,6 +67,7 @@ func request(cfg Config) (serve.Request, error) {
 		Delta:    cfg.WDSDelta,
 		Seed:     cfg.Seed,
 		Parallel: cfg.Parallel,
+		Fidelity: fidelity,
 	}, nil
 }
 
