@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn bench-serve bench-spatial lint ci
+.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn bench-serve bench-spatial bench-planstore docs-check lint ci
 
 all: build
 
@@ -108,6 +108,29 @@ bench-spatial:
 	@rm -f BENCH_spatial.txt
 	@cat BENCH_spatial.json
 
-lint: vet fmt-check
+# Plan-store trajectory: a simulated process restart against a warm
+# persistent plan store (read+decode instead of compile) beside the
+# cold-compile and warm-memory bounds it sits between, plus the raw
+# codec halves — emitted as BENCH_planstore.json beside the other
+# series. The acceptance bars: BenchmarkServeRestartWarmDisk at most
+# 10x BenchmarkServeCachedRequest and at least 5x under
+# BenchmarkServeColdCompile.
+bench-planstore:
+	@rm -f BENCH_planstore.txt
+	for i in 1 2 3; do \
+		$(GO) test -run '^$$' -bench 'BenchmarkServe(ColdCompile|CachedRequest|RestartWarmDisk)$$' -benchtime 5x ./internal/serve >> BENCH_planstore.txt || exit 1; \
+		$(GO) test -run '^$$' -bench 'BenchmarkPlan(Encode|Decode)$$' -benchtime 20x ./internal/planstore >> BENCH_planstore.txt || exit 1; \
+	done
+	@$(bench_json) BENCH_planstore.txt > BENCH_planstore.json
+	@rm -f BENCH_planstore.txt
+	@cat BENCH_planstore.json
+
+# Docs gate: every internal package (and command) must carry a package
+# doc comment, and every relative link in ARCHITECTURE.md and README.md
+# must resolve to a real file.
+docs-check:
+	@./scripts/docs_check.sh
+
+lint: vet fmt-check docs-check
 
 ci: build lint race bench

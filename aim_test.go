@@ -13,6 +13,17 @@ import (
 	"aim/internal/xrand"
 )
 
+// newTestServer starts a Server and fails the test on error (only an
+// unopenable plan-cache dir can make NewServer fail).
+func newTestServer(t testing.TB, opt ServerOptions) *Server {
+	t.Helper()
+	srv, err := NewServer(opt)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return srv
+}
+
 func TestNetworksList(t *testing.T) {
 	if len(Networks()) != 6 {
 		t.Fatalf("networks = %v", Networks())
@@ -210,7 +221,7 @@ func TestRunRejectsInvalidRuntimeKnobs(t *testing.T) {
 }
 
 func TestServerRejectsInvalidRuntimeKnobs(t *testing.T) {
-	srv := NewServer(ServerOptions{Workers: 1})
+	srv := newTestServer(t, ServerOptions{Workers: 1})
 	defer srv.Close()
 	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18", Fidelity: "bogus"}); err == nil {
 		t.Error("Submit with bogus fidelity must error")
@@ -268,7 +279,7 @@ func TestDisableWDSMatchesLHRStage(t *testing.T) {
 }
 
 func TestServerMatchesRun(t *testing.T) {
-	srv := NewServer(ServerOptions{Workers: 2})
+	srv := newTestServer(t, ServerOptions{Workers: 2})
 	defer srv.Close()
 	cfg := Config{Network: "resnet18", Mode: LowPower}
 	want, err := Run(cfg)
@@ -307,7 +318,7 @@ func TestServeListDeterministicAcrossWorkers(t *testing.T) {
 	}
 	var first []Result
 	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
-		srv := NewServer(ServerOptions{Workers: workers})
+		srv := newTestServer(t, ServerOptions{Workers: workers})
 		got, err := srv.ServeList(context.Background(), cfgs)
 		srv.Close()
 		if err != nil {
@@ -326,7 +337,7 @@ func TestServeListDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestServerSubmitErrors(t *testing.T) {
-	srv := NewServer(ServerOptions{Workers: 1})
+	srv := newTestServer(t, ServerOptions{Workers: 1})
 	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18", Mode: "turbo"}); err == nil {
 		t.Error("unknown mode must error")
 	}

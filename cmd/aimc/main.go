@@ -5,10 +5,11 @@
 // Usage:
 //
 //	aimc -net resnet18 [-mode sprint|low-power] [-beta 50] [-delta 16] [-seed N] [-parallel N]
-//	     [-fidelity analytic|packed|spatial]
+//	     [-fidelity analytic|packed|spatial] [-plan-cache-dir DIR]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "simulator worker pool: 0 = one per CPU, 1 = serial")
 	fidelity := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial")
+	planCacheDir := fs.String("plan-cache-dir", "", "reuse compiled plans from this persistent store, writing new ones back (empty = compile fresh)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -42,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res, err := aim.Run(aim.Config{
+	cfg := aim.Config{
 		Network:  *net,
 		Mode:     aim.Mode(*mode),
 		Beta:     *beta,
@@ -50,13 +52,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:     *seed,
 		Parallel: *parallel,
 		Fidelity: aim.Fidelity(*fidelity),
-	})
+	}
+	res, err := execute(cfg, *planCacheDir)
 	if err != nil {
 		fmt.Fprintf(stderr, "aimc: %v\n", err)
 		return 1
 	}
 	io.WriteString(stdout, render(res, *beta, *delta))
 	return 0
+}
+
+// execute runs cfg directly, or through a one-worker Server when a
+// plan-cache dir is given — the server path consults the persistent
+// plan store before compiling, and its results are identical to
+// aim.Run's (the library's documented serving contract).
+func execute(cfg aim.Config, planCacheDir string) (aim.Result, error) {
+	if planCacheDir == "" {
+		return aim.Run(cfg)
+	}
+	srv, err := aim.NewServer(aim.ServerOptions{Workers: 1, PlanCacheDir: planCacheDir})
+	if err != nil {
+		return aim.Result{}, err
+	}
+	defer srv.Close()
+	return srv.Submit(context.Background(), cfg)
 }
 
 // render formats the before/after summary.

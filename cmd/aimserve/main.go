@@ -101,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed (scenario draws, arrival gaps, pipeline)")
 	parallel := fs.Int("parallel", 1, "per-request wave pool (fleet parallelism comes from -workers)")
 	fidelityName := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial (runtime knob; plans are shared across tiers)")
+	planCacheDir := fs.String("plan-cache-dir", "", "persist compiled plans to this directory and reuse them across restarts (empty = in-process cache only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -146,7 +147,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	srv := serve.New(serve.Options{Workers: *workers})
+	srv, err := serve.New(serve.Options{Workers: *workers, PlanCacheDir: *planCacheDir})
+	if err != nil {
+		fmt.Fprintf(stderr, "aimserve: %v\n", err)
+		return 2
+	}
 	defer srv.Close()
 	start := time.Now()
 	resps := make([]serve.Response, *n)
@@ -184,6 +189,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m.P50.Round(time.Millisecond), m.P95.Round(time.Millisecond), m.P99.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "  plan cache:  %d compiles, %d hits (%.0f%% of requests amortized)\n",
 		m.Compiles, m.PlanHits, amortized)
+	if *planCacheDir != "" {
+		fmt.Fprintf(stdout, "  plan store:  %d plans loaded from %s instead of compiled\n",
+			m.DiskHits, *planCacheDir)
+	}
 	fmt.Fprintf(stdout, "  batching:    %d batches, mean %.1f req/batch\n", m.Batches, m.MeanBatch)
 	return 0
 }

@@ -101,4 +101,19 @@
 // the HR-aware mapping SA dominates compilation (see BENCH_serve.json
 // from `make bench-serve`, and cmd/aimserve for a closed-loop load
 // generator with Poisson arrivals over the full zoo).
+//
+// The plan cache survives the process when ServerOptions.PlanCacheDir
+// is set (CLI: -plan-cache-dir on aimc and aimserve): compiled plans
+// persist to a content-addressed store (internal/planstore) keyed by
+// the sha256 of exactly the compile inputs plus a code-version
+// generation, with a decoded-plan LRU above a pluggable directory
+// backend below. A restarted server — or another replica sharing the
+// directory — loads each plan instead of recompiling it (~10x faster
+// on resnet18; see BENCH_planstore.json from `make bench-planstore`),
+// and a decoded plan executes byte-identically to a freshly compiled
+// one for any worker count. Bumping the code-version generation makes
+// every stale entry unreachable at once, and corrupt or stale files
+// silently fall back to recompilation — persistence failures never
+// fail serving. See ARCHITECTURE.md for the repository map and the
+// README for the on-disk format and measured restart numbers.
 package aim

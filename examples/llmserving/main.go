@@ -23,7 +23,10 @@ import (
 )
 
 func main() {
-	srv := aim.NewServer(aim.ServerOptions{})
+	srv, err := aim.NewServer(aim.ServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 
 	var cfgs []aim.Config

@@ -1,0 +1,34 @@
+package planstore
+
+import "testing"
+
+// BenchmarkPlanEncode pins the serialization cost of the reference
+// plan (resnet18, low-power): the write half of what every compile
+// pays once to make later restarts cheap.
+func BenchmarkPlanEncode(b *testing.B) {
+	k := testKey("resnet18", 1)
+	p := compileTestPlan(b, "resnet18", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(k, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanDecode pins the read half — header and integrity
+// checks plus full plan reconstruction — the per-key cost a restarted
+// process pays instead of a compile.
+func BenchmarkPlanDecode(b *testing.B) {
+	k := testKey("resnet18", 1)
+	data, err := Encode(k, compileTestPlan(b, "resnet18", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(k, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,565 @@
+package planstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"aim/internal/compiler"
+	"aim/internal/core"
+	"aim/internal/mapping"
+	"aim/internal/model"
+	"aim/internal/pim"
+	"aim/internal/quant"
+	"aim/internal/tensor"
+	"aim/internal/vf"
+)
+
+// The on-disk container is
+//
+//	magic "AIMPLAN1" | u32 format version | code-version string |
+//	key id string | u64 payload length | payload | sha256(payload)
+//
+// and the payload is a flat little-endian walk of the Plan: the
+// Network once, then both Compiled artifacts with every aliased
+// pointer written as an index — LayerPlan.Layer as an index into
+// Net.Layers, Wave.Plans as indices into Compiled.Plans — so decoding
+// rebuilds the exact sharing structure Compile produced, not a
+// deep-copied lookalike. Floats travel as IEEE-754 bit patterns
+// (math.Float64bits), so a decoded plan is bit-exact, and Execute on
+// it is byte-identical to Execute on the freshly compiled original.
+const (
+	// magic identifies a plan file; it never changes.
+	magic = "AIMPLAN1"
+	// FormatVersion is the container layout version. Bump it when the
+	// byte layout itself changes (new field, different framing).
+	FormatVersion = 1
+)
+
+// CodeVersion names the compiler/simulator generation a stored plan
+// belongs to. It is part of the content hash, so bumping it
+// invalidates every stored plan at once (old entries become
+// unreachable and are swept lazily).
+//
+// Bump rule: increment the trailing counter whenever a change affects
+// what Compile produces or how Execute consumes it — quantization or
+// LHR/WDS changes, mapping strategy changes, wave scheduling, RNG
+// draw-order changes, zoo weight generation, or any codec layout
+// change (bump FormatVersion too in that case). Pure runtime knobs
+// (β, worker counts, fidelity tier) never require a bump: they are
+// outside the plan by design.
+const CodeVersion = "aim-plan-1"
+
+// ErrCorrupt reports a plan file that failed structural or integrity
+// validation: wrong magic, truncation, a payload hash mismatch, or a
+// key that does not match the requested one. Stores treat it as a
+// miss and recompile.
+var ErrCorrupt = errors.New("planstore: corrupt plan file")
+
+// ErrStale reports a structurally valid plan file written by a
+// different format or code version. Stores treat it as a miss and
+// recompile; the entry is unreachable under the current hash anyway.
+var ErrStale = errors.New("planstore: plan file from a different version")
+
+// Encode serializes a compiled plan into the versioned container.
+func Encode(k Key, p *core.Plan) ([]byte, error) {
+	if p == nil || p.Net == nil || p.Baseline == nil || p.AIM == nil {
+		return nil, errors.New("planstore: incomplete plan")
+	}
+	var payload writer
+	if err := payload.network(p.Net); err != nil {
+		return nil, err
+	}
+	if err := payload.compiled(p.Baseline, p.Net); err != nil {
+		return nil, err
+	}
+	if err := payload.compiled(p.AIM, p.Net); err != nil {
+		return nil, err
+	}
+
+	var f writer
+	f.buf = append(f.buf, magic...)
+	f.u32(FormatVersion)
+	f.str(CodeVersion)
+	f.str(k.id())
+	f.u64(uint64(len(payload.buf)))
+	f.buf = append(f.buf, payload.buf...)
+	sum := sha256.Sum256(payload.buf)
+	f.buf = append(f.buf, sum[:]...)
+	return f.buf, nil
+}
+
+// Decode parses a plan file previously written by Encode for the same
+// key. It returns ErrStale for a valid file from another
+// format/code version and ErrCorrupt for anything structurally or
+// cryptographically wrong; it never panics on hostile bytes.
+func Decode(k Key, data []byte) (*core.Plan, error) {
+	r := reader{data: data}
+	if string(r.bytes(len(magic))) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := r.u32(); r.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("%w: format %d (want %d)", ErrStale, v, FormatVersion)
+	}
+	if cv := r.str(); r.err == nil && cv != CodeVersion {
+		return nil, fmt.Errorf("%w: code version %q (want %q)", ErrStale, cv, CodeVersion)
+	}
+	if id := r.str(); r.err == nil && id != k.id() {
+		return nil, fmt.Errorf("%w: stored key %q does not match %q", ErrCorrupt, id, k.id())
+	}
+	n := int(r.u64())
+	payload := r.bytes(n)
+	sum := r.bytes(sha256.Size)
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
+	}
+	want := sha256.Sum256(payload)
+	if string(sum) != string(want[:]) {
+		return nil, fmt.Errorf("%w: payload hash mismatch", ErrCorrupt)
+	}
+
+	pr := reader{data: payload}
+	net := pr.network()
+	baseline := pr.compiled(net)
+	aim := pr.compiled(net)
+	if pr.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, pr.err)
+	}
+	if pr.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d unread payload bytes", ErrCorrupt, len(payload)-pr.off)
+	}
+	return &core.Plan{Net: net, Baseline: baseline, AIM: aim}, nil
+}
+
+// ---- writer ----
+
+// writer accumulates the little-endian encoding. Methods that can
+// observe an inconsistent plan (a dangling layer pointer) return an
+// error; plain scalar appends cannot fail.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) int(v int)     { w.i64(int64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) ints(v []int) {
+	w.u64(uint64(len(v)))
+	for _, x := range v {
+		w.int(x)
+	}
+}
+
+func (w *writer) floats(v []float64) {
+	w.u64(uint64(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+
+func (w *writer) floatTensor(t *tensor.Float) {
+	w.bool(t != nil)
+	if t == nil {
+		return
+	}
+	w.ints(t.Shape)
+	w.floats(t.Data)
+}
+
+func (w *writer) intTensor(t *tensor.Int) {
+	w.ints(t.Shape)
+	w.int(t.Bits)
+	w.u64(uint64(len(t.Data)))
+	for _, x := range t.Data {
+		w.u32(uint32(x))
+	}
+}
+
+func (w *writer) network(n *model.Network) error {
+	w.str(n.Name)
+	w.bool(n.Transformer)
+	p := n.Profile
+	w.f64(p.LaplaceB)
+	w.f64(p.OutlierFrac)
+	w.f64(p.OutlierSigma)
+	w.f64(p.Lambda)
+	w.int(int(p.Acc.Metric))
+	w.f64(p.Acc.Base)
+	w.f64(p.Acc.DriftSens)
+	w.f64(p.Acc.DriftFree)
+	w.f64(p.Acc.RegGain)
+	w.f64(p.Acc.PruneSens)
+	w.u64(uint64(len(n.Layers)))
+	for _, l := range n.Layers {
+		w.str(l.Name)
+		w.int(int(l.Kind))
+		w.int(l.Rows)
+		w.int(l.Cols)
+		w.f64(l.SigmaMul)
+		w.floatTensor(l.Weights)
+	}
+	return nil
+}
+
+func (w *writer) compiled(c *compiler.Compiled, net *model.Network) error {
+	if c.Net != net {
+		return errors.New("planstore: compiled artifact does not share the plan's network")
+	}
+	layerIndex := make(map[*model.Layer]int, len(net.Layers))
+	for i, l := range net.Layers {
+		layerIndex[l] = i
+	}
+	planIndex := make(map[*compiler.LayerPlan]int, len(c.Plans))
+
+	o := c.Options
+	w.int(o.Bits)
+	w.bool(o.UseLHR)
+	w.int(o.WDSDelta)
+	keys := make([]string, 0, len(o.PerOpDelta))
+	for k := range o.PerOpDelta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u64(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.int(o.PerOpDelta[k])
+	}
+	w.int(int(o.Strategy))
+	w.int(int(o.Mode))
+	w.i64(o.Seed)
+
+	w.u64(uint64(len(c.Plans)))
+	for i, p := range c.Plans {
+		planIndex[p] = i
+		li, ok := layerIndex[p.Layer]
+		if !ok {
+			return fmt.Errorf("planstore: plan %d references a layer outside the network", i)
+		}
+		w.int(li)
+		w.bool(p.Quant != nil)
+		if p.Quant != nil {
+			w.intTensor(p.Quant.Codes)
+			w.f64(p.Quant.Scale)
+		}
+		w.f64(p.HR)
+		w.int(p.Delta)
+		w.int(p.Segments)
+		w.int(p.WaveRounds)
+	}
+
+	w.u64(uint64(len(c.Waves)))
+	for wi, wv := range c.Waves {
+		w.u64(uint64(len(wv.Plans)))
+		for _, p := range wv.Plans {
+			pi, ok := planIndex[p]
+			if !ok {
+				return fmt.Errorf("planstore: wave %d references a plan outside the artifact", wi)
+			}
+			w.int(pi)
+		}
+		w.u64(uint64(len(wv.Tasks)))
+		for _, t := range wv.Tasks {
+			w.str(t.Op)
+			w.int(t.OpID)
+			w.f64(t.HR)
+			w.bool(t.InputDetermined)
+		}
+		if wv.Map == nil {
+			return fmt.Errorf("planstore: wave %d has no mapping", wi)
+		}
+		w.ints(wv.Map.Assign)
+		cfg := wv.Map.Cfg
+		w.int(int(cfg.Kind))
+		w.int(cfg.Groups)
+		w.int(cfg.MacrosPerGroup)
+		w.int(cfg.BanksPerMacro)
+		w.int(cfg.CellsPerBank)
+		w.int(cfg.WeightBits)
+		w.int(wv.Rounds)
+	}
+
+	w.f64(c.Stats.Average)
+	w.f64(c.Stats.Max)
+	w.floats(c.Stats.PerLayer)
+	w.f64(c.Stats.MeanDrift)
+	w.f64(c.Drift)
+	return nil
+}
+
+// ---- reader ----
+
+// reader walks the encoding with a sticky error: the first structural
+// problem (truncation, an implausible length, an out-of-range index)
+// poisons every later read, so decode logic reads straight through and
+// checks err once. Every length is validated against the bytes that
+// remain before anything is allocated — hostile input cannot cause a
+// panic or an outsized allocation.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) || r.off+n < r.off {
+		r.fail("truncated at offset %d (want %d bytes, have %d)", r.off, n, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) int() int     { return int(r.i64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool {
+	b := r.bytes(1)
+	return b != nil && b[0] != 0
+}
+
+// length reads a count and sanity-checks it against the smallest
+// possible per-element footprint, so a corrupted length cannot demand
+// an allocation larger than the file itself.
+func (r *reader) length(elemSize int) int {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if max := uint64(len(r.data)-r.off) / uint64(elemSize); n > max {
+		r.fail("implausible length %d at offset %d", n, r.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str() string {
+	n := r.length(1)
+	return string(r.bytes(n))
+}
+
+func (r *reader) ints() []int {
+	n := r.length(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.int()
+	}
+	return out
+}
+
+func (r *reader) floats() []float64 {
+	n := r.length(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *reader) floatTensor() *tensor.Float {
+	if !r.bool() {
+		return nil
+	}
+	shape := r.ints()
+	data := r.floats()
+	if r.err != nil {
+		return nil
+	}
+	return &tensor.Float{Shape: shape, Data: data}
+}
+
+func (r *reader) intTensor() *tensor.Int {
+	shape := r.ints()
+	bits := r.int()
+	n := r.length(4)
+	if r.err != nil {
+		return nil
+	}
+	data := make([]int32, n)
+	for i := range data {
+		data[i] = int32(r.u32())
+	}
+	return &tensor.Int{Shape: shape, Data: data, Bits: bits}
+}
+
+func (r *reader) network() *model.Network {
+	n := &model.Network{}
+	n.Name = r.str()
+	n.Transformer = r.bool()
+	n.Profile.LaplaceB = r.f64()
+	n.Profile.OutlierFrac = r.f64()
+	n.Profile.OutlierSigma = r.f64()
+	n.Profile.Lambda = r.f64()
+	n.Profile.Acc.Metric = quant.Metric(r.int())
+	n.Profile.Acc.Base = r.f64()
+	n.Profile.Acc.DriftSens = r.f64()
+	n.Profile.Acc.DriftFree = r.f64()
+	n.Profile.Acc.RegGain = r.f64()
+	n.Profile.Acc.PruneSens = r.f64()
+	nl := r.length(1)
+	if r.err != nil {
+		return n
+	}
+	n.Layers = make([]*model.Layer, 0, nl)
+	for i := 0; i < nl && r.err == nil; i++ {
+		l := &model.Layer{}
+		l.Name = r.str()
+		l.Kind = model.OpKind(r.int())
+		l.Rows = r.int()
+		l.Cols = r.int()
+		l.SigmaMul = r.f64()
+		l.Weights = r.floatTensor()
+		n.Layers = append(n.Layers, l)
+	}
+	return n
+}
+
+func (r *reader) compiled(net *model.Network) *compiler.Compiled {
+	c := &compiler.Compiled{Net: net}
+	c.Options.Bits = r.int()
+	c.Options.UseLHR = r.bool()
+	c.Options.WDSDelta = r.int()
+	if nd := r.length(1); nd > 0 {
+		c.Options.PerOpDelta = make(map[string]int, nd)
+		for i := 0; i < nd && r.err == nil; i++ {
+			k := r.str()
+			c.Options.PerOpDelta[k] = r.int()
+		}
+	}
+	c.Options.Strategy = compiler.Strategy(r.int())
+	c.Options.Mode = vf.Mode(r.int())
+	c.Options.Seed = r.i64()
+
+	np := r.length(1)
+	if r.err != nil {
+		return c
+	}
+	c.Plans = make([]*compiler.LayerPlan, 0, np)
+	for i := 0; i < np && r.err == nil; i++ {
+		p := &compiler.LayerPlan{}
+		li := r.int()
+		if r.err == nil {
+			if li < 0 || li >= len(net.Layers) {
+				r.fail("layer index %d out of range [0,%d)", li, len(net.Layers))
+			} else {
+				p.Layer = net.Layers[li]
+			}
+		}
+		if r.bool() {
+			codes := r.intTensor()
+			scale := r.f64()
+			if r.err == nil {
+				p.Quant = &quant.Quantized{Codes: codes, Scale: scale}
+			}
+		}
+		p.HR = r.f64()
+		p.Delta = r.int()
+		p.Segments = r.int()
+		p.WaveRounds = r.int()
+		c.Plans = append(c.Plans, p)
+	}
+
+	nw := r.length(1)
+	if r.err != nil {
+		return c
+	}
+	c.Waves = make([]*compiler.Wave, 0, nw)
+	for i := 0; i < nw && r.err == nil; i++ {
+		wv := &compiler.Wave{}
+		npl := r.length(8)
+		for j := 0; j < npl && r.err == nil; j++ {
+			pi := r.int()
+			if r.err == nil {
+				if pi < 0 || pi >= len(c.Plans) {
+					r.fail("wave plan index %d out of range [0,%d)", pi, len(c.Plans))
+				} else {
+					wv.Plans = append(wv.Plans, c.Plans[pi])
+				}
+			}
+		}
+		nt := r.length(1)
+		for j := 0; j < nt && r.err == nil; j++ {
+			var t mapping.Task
+			t.Op = r.str()
+			t.OpID = r.int()
+			t.HR = r.f64()
+			t.InputDetermined = r.bool()
+			wv.Tasks = append(wv.Tasks, t)
+		}
+		assign := r.ints()
+		var cfg pim.Config
+		cfg.Kind = pim.MacroKind(r.int())
+		cfg.Groups = r.int()
+		cfg.MacrosPerGroup = r.int()
+		cfg.BanksPerMacro = r.int()
+		cfg.CellsPerBank = r.int()
+		cfg.WeightBits = r.int()
+		if r.err == nil {
+			wv.Map = &mapping.Mapping{Assign: assign, Cfg: cfg}
+		}
+		wv.Rounds = r.int()
+		c.Waves = append(c.Waves, wv)
+	}
+
+	c.Stats.Average = r.f64()
+	c.Stats.Max = r.f64()
+	c.Stats.PerLayer = r.floats()
+	c.Stats.MeanDrift = r.f64()
+	c.Drift = r.f64()
+	return c
+}

@@ -1,0 +1,199 @@
+// Package planstore is the persistent, content-addressed plan store:
+// it serializes core.Plan to a versioned binary format and caches the
+// artifacts in two tiers — an in-memory LRU of decoded plans above a
+// pluggable storage Backend of encoded blobs (a local directory
+// first; the interface leaves room for shared or remote stores).
+//
+// Entries are addressed by the sha256 of everything the offline
+// compiler consumes — network, mode, bits, δ, seed — plus CodeVersion,
+// the compiler/simulator generation string. A process restart or a
+// second fleet replica therefore finds the plans its predecessors
+// compiled, turning the ~100ms-per-plan cold compile into a
+// millisecond-scale read+decode, while a code change that affects plan
+// content simply makes every stale entry unreachable instead of
+// silently serving wrong artifacts. Decoded plans are bit-exact
+// (floats round-trip as IEEE-754 bit patterns and aliased pointers are
+// rebuilt from indices), so Execute over a loaded plan is
+// byte-identical to Execute over a freshly compiled one. Corrupt,
+// truncated or stale entries are counted, swept and treated as cache
+// misses — the store degrades to "compile again", never to an error
+// on the serving path.
+package planstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"aim/internal/core"
+)
+
+// DefaultMemoryBudget bounds the in-memory tier: roomy enough to hold
+// every plan of the evaluation zoo decoded at once, small enough that
+// a fleet replica's memory stays flat under key churn.
+const DefaultMemoryBudget = 256 << 20
+
+// Key identifies one compiled plan: exactly the inputs the offline
+// compile phase consumes (the serving runtime's cache key), never a
+// runtime knob. The content hash additionally folds in CodeVersion, so
+// one key denotes one plan *per compiler generation*.
+type Key struct {
+	// Network is the zoo workload name.
+	Network string
+	// Mode is the operating policy's string form.
+	Mode string
+	// Bits is the quantization width.
+	Bits int
+	// Delta is the canonical WDS δ (0 = disabled).
+	Delta int
+	// Seed drives every stochastic component of the compilation.
+	Seed int64
+}
+
+// id is the canonical serialization of the key — the string that is
+// hashed, and the string stored in the file header so an entry can
+// vouch for what it holds.
+func (k Key) id() string {
+	return fmt.Sprintf("net=%s|mode=%s|bits=%d|delta=%d|seed=%d", k.Network, k.Mode, k.Bits, k.Delta, k.Seed)
+}
+
+// Hash returns the entry's content-addressed name: hex sha256 over the
+// canonical key id and CodeVersion.
+func (k Key) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "aim/planstore\n%s\n%s\n", CodeVersion, k.id())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts the store's traffic since creation.
+type Stats struct {
+	// MemHits answered from the decoded LRU tier; DiskHits answered by
+	// reading and decoding a backend entry; Misses found nothing.
+	MemHits, DiskHits, Misses int64
+	// Stale counts entries rejected for a format/code-version
+	// mismatch, Corrupt those failing structural or integrity checks;
+	// both are served as misses and removed from the backend.
+	Stale, Corrupt int64
+	// Saves counts successful writes; SaveErrors counts writes that
+	// failed (the plan is still served from memory — persistence is
+	// best-effort on the serving path).
+	Saves, SaveErrors int64
+}
+
+// Store is the two-tier plan cache: Get checks the in-memory LRU, then
+// the backend (read, integrity-check, decode, promote to memory), and
+// reports a miss otherwise; Put encodes and writes through both tiers.
+// All methods are safe for concurrent use. The store intentionally has
+// no compile-stampede control: that lives with the caller (the serving
+// runtime's singleflight cache), so non-server users pay nothing for
+// it.
+type Store struct {
+	backend Backend
+	mem     *lru
+	stats   struct {
+		memHits, diskHits, misses atomic.Int64
+		stale, corrupt            atomic.Int64
+		saves, saveErrors         atomic.Int64
+	}
+}
+
+// Open opens a plan store over a local directory backend with the
+// default memory budget.
+func Open(dir string) (*Store, error) {
+	b, err := OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return New(b, 0), nil
+}
+
+// New builds a store over an arbitrary backend. memoryBudget bounds
+// the decoded LRU tier in bytes (0 = DefaultMemoryBudget).
+func New(b Backend, memoryBudget int64) *Store {
+	return &Store{backend: b, mem: newLRU(memoryBudget)}
+}
+
+// Get returns the stored plan for k, reporting which tier answered.
+// A false return means "not stored" for any reason — absent, stale or
+// corrupt — and the caller should compile; an entry that failed
+// validation has already been removed so it is not re-read forever.
+func (s *Store) Get(k Key) (*core.Plan, bool) {
+	h := k.Hash()
+	if p, ok := s.mem.get(h); ok {
+		s.stats.memHits.Add(1)
+		return p, true
+	}
+	data, err := s.backend.Load(h)
+	if err != nil {
+		s.stats.misses.Add(1)
+		return nil, false
+	}
+	p, err := Decode(k, data)
+	if err != nil {
+		// A bad entry is a miss, not a failure — but count it by
+		// kind and sweep it so the next restart is not fooled again.
+		if errors.Is(err, ErrStale) {
+			s.stats.stale.Add(1)
+		} else {
+			s.stats.corrupt.Add(1)
+		}
+		_ = s.backend.Remove(h)
+		s.stats.misses.Add(1)
+		return nil, false
+	}
+	s.mem.add(h, p, int64(len(data)))
+	s.stats.diskHits.Add(1)
+	return p, true
+}
+
+// Put encodes the plan and writes it through both tiers. An encode
+// failure is returned (the plan is inconsistent — a programming
+// error); a backend write failure is only counted, because the caller
+// holds a perfectly good in-memory plan and serving must not fail on a
+// full disk.
+func (s *Store) Put(k Key, p *core.Plan) error {
+	data, err := Encode(k, p)
+	if err != nil {
+		return err
+	}
+	h := k.Hash()
+	s.mem.add(h, p, int64(len(data)))
+	if err := s.backend.Store(h, data); err != nil {
+		s.stats.saveErrors.Add(1)
+		return nil
+	}
+	s.stats.saves.Add(1)
+	return nil
+}
+
+// GetOrCompile returns the stored plan or compiles, stores and returns
+// a fresh one — the one-shot (non-server) entry point. hit reports
+// whether any tier answered.
+func (s *Store) GetOrCompile(k Key, compile func() (*core.Plan, error)) (plan *core.Plan, hit bool, err error) {
+	if p, ok := s.Get(k); ok {
+		return p, true, nil
+	}
+	p, err := compile()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := s.Put(k, p); err != nil {
+		return nil, false, err
+	}
+	return p, false, nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		MemHits:    s.stats.memHits.Load(),
+		DiskHits:   s.stats.diskHits.Load(),
+		Misses:     s.stats.misses.Load(),
+		Stale:      s.stats.stale.Load(),
+		Corrupt:    s.stats.corrupt.Load(),
+		Saves:      s.stats.saves.Load(),
+		SaveErrors: s.stats.saveErrors.Load(),
+	}
+}

@@ -1,0 +1,383 @@
+package planstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"aim/internal/core"
+	"aim/internal/model"
+	"aim/internal/vf"
+)
+
+// testKey mirrors the serving runtime's key derivation for the
+// reference deployment point the tests compile.
+func testKey(network string, seed int64) Key {
+	return Key{Network: network, Mode: vf.LowPower.String(), Bits: 8, Delta: 16, Seed: seed}
+}
+
+// compileTestPlan compiles the reference plan the way the serving
+// runtime does: zoo weights from the shared zoo seed, pipeline seeded
+// per request.
+func compileTestPlan(t testing.TB, network string, seed int64) *core.Plan {
+	t.Helper()
+	net, err := model.ByName(network, 2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewPipeline(vf.LowPower)
+	p.Seed = seed
+	return p.Compile(net)
+}
+
+// TestRoundTripExecutesByteIdentically is the store's core guarantee:
+// a decoded plan is not merely similar to the compiled original — it
+// Executes byte-identically, for every worker count, so a fleet
+// replica answering from disk returns exactly what the compiling
+// replica returns. Run under -race this also proves a decoded plan is
+// as shareable as a compiled one.
+func TestRoundTripExecutesByteIdentically(t *testing.T) {
+	for _, network := range []string{"resnet18", "mobilenetv2"} {
+		t.Run(network, func(t *testing.T) {
+			k := testKey(network, 1)
+			plan := compileTestPlan(t, network, 1)
+			data, err := Encode(k, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Decode(k, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Structural fidelity: re-encoding the decoded plan must
+			// reproduce the bytes exactly (the encoding is canonical).
+			data2, err := Encode(k, decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, data2) {
+				t.Fatalf("re-encoded bytes differ: %d vs %d bytes", len(data), len(data2))
+			}
+			// Aliasing fidelity: wave plans must point into the decoded
+			// artifact's plan slice, and layers into the shared network.
+			if decoded.Baseline.Net != decoded.Net || decoded.AIM.Net != decoded.Net {
+				t.Fatal("decoded artifacts do not share the plan's network")
+			}
+			for _, wv := range decoded.AIM.Waves {
+				for _, lp := range wv.Plans {
+					found := false
+					for _, p := range decoded.AIM.Plans {
+						if p == lp {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatal("decoded wave references a plan copy, not the shared slice entry")
+					}
+				}
+			}
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				pipe := core.NewPipeline(vf.LowPower)
+				pipe.Seed = 1
+				pipe.Parallel = workers
+				want := pipe.Execute(plan)
+				got := pipe.Execute(decoded)
+				if !reflect.DeepEqual(stripPointers(want), stripPointers(got)) {
+					t.Fatalf("workers=%d: decoded plan executed differently\nwant %+v\ngot  %+v",
+						workers, stripPointers(want), stripPointers(got))
+				}
+			}
+		})
+	}
+}
+
+// stripPointers reduces a Report to its value content: the pointer
+// fields necessarily differ between a compiled and a decoded plan, so
+// equality is asserted on every computed number instead.
+type reportValues struct {
+	Net       string
+	Baseline  interface{}
+	AIM       interface{}
+	BaseQ     float64
+	AIMQ      float64
+	BaseStats interface{}
+	AIMStats  interface{}
+}
+
+func stripPointers(r core.Report) reportValues {
+	return reportValues{
+		Net:       r.Net.Name,
+		Baseline:  r.Baseline.Result,
+		AIM:       r.AIM.Result,
+		BaseQ:     r.Baseline.Quality,
+		AIMQ:      r.AIM.Quality,
+		BaseStats: r.Baseline.HR,
+		AIMStats:  r.AIM.HR,
+	}
+}
+
+// TestDecodeNeverPanics fuzzes the decoder the cheap deterministic
+// way: truncations at every stride and single-byte flips across the
+// file must yield an error (or, when the flip lands after the
+// integrity hash was satisfied, at worst a decoded plan) — never a
+// panic or an outsized allocation.
+func TestDecodeNeverPanics(t *testing.T) {
+	k := testKey("resnet18", 1)
+	plan := compileTestPlan(t, "resnet18", 1)
+	data, err := Encode(k, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~100 samples of each mutation: strides are derived from the file
+	// size (offset by primes so they do not land on word boundaries
+	// only), keeping the test a second instead of a sha256 marathon.
+	truncStride := len(data)/97 + 1
+	for n := 0; n < len(data); n += truncStride {
+		if _, err := Decode(k, data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	flipStride := len(data)/101 + 1
+	for i := 0; i < len(data); i += flipStride {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x41
+		if _, err := Decode(k, mut); err == nil {
+			t.Fatalf("flipped byte %d decoded successfully (integrity hash missed it)", i)
+		}
+	}
+}
+
+// TestDecodeWrongKey: an entry must vouch for its own key — handing
+// the right bytes to the wrong key is corruption, not a hit.
+func TestDecodeWrongKey(t *testing.T) {
+	k := testKey("resnet18", 1)
+	plan := compileTestPlan(t, "resnet18", 1)
+	data, err := Encode(k, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := k
+	other.Seed = 2
+	if _, err := Decode(other, data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("decode under wrong key: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreCorruptEntryFallsBack: a truncated or bit-rotted on-disk
+// entry is served as a miss, counted, and swept — the caller
+// recompiles instead of erroring out, and the next Get does not trip
+// over the same bad file.
+func TestStoreCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("resnet18", 1)
+	plan := compileTestPlan(t, "resnet18", 1)
+	if err := s.Put(k, plan); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored entry in place.
+	h := k.Hash()
+	path := filepath.Join(dir, h[:2], h)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store (no memory tier to answer from) must miss.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(k); ok {
+		t.Fatal("corrupt entry was served")
+	}
+	st := s2.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1 Misses=1", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry was not swept")
+	}
+	// GetOrCompile recovers transparently and repopulates.
+	p, hit, err := s2.GetOrCompile(k, func() (*core.Plan, error) { return plan, nil })
+	if err != nil || hit || p == nil {
+		t.Fatalf("GetOrCompile after corruption: plan=%v hit=%v err=%v", p != nil, hit, err)
+	}
+	if _, ok := s2.Get(k); !ok {
+		t.Fatal("store was not repopulated after recompile")
+	}
+}
+
+// TestStoreStaleVersionFallsBack: an entry written by another
+// compiler generation (here: a hand-built header with an old code
+// version) is a counted miss, not an error — restart after an upgrade
+// recompiles.
+func TestStoreStaleVersionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("resnet18", 1)
+	var w writer
+	w.buf = append(w.buf, magic...)
+	w.u32(FormatVersion)
+	w.str("aim-plan-0-ancient")
+	h := k.Hash()
+	if err := s.backend.Store(h, w.buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("stale entry was served")
+	}
+	if st := s.Stats(); st.Stale != 1 {
+		t.Fatalf("stats = %+v, want Stale=1", st)
+	}
+	if s.backend.Has(h) {
+		t.Fatal("stale entry was not swept")
+	}
+}
+
+// TestStoreTwoTierPromotion: a disk hit promotes the decoded plan into
+// the memory tier, so the second Get is a memory hit.
+func TestStoreTwoTierPromotion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("resnet18", 1)
+	plan := compileTestPlan(t, "resnet18", 1)
+	if err := s.Put(k, plan); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a restart: same backend, cold memory tier.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(k); !ok {
+		t.Fatal("warm disk cache missed after restart")
+	}
+	p2, ok := s2.Get(k)
+	if !ok {
+		t.Fatal("second Get missed")
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want DiskHits=1 MemHits=1", st)
+	}
+	// The memory tier returns the same decoded instance, not a re-read.
+	if p3, _ := s2.Get(k); p3 != p2 {
+		t.Fatal("memory tier did not return the cached instance")
+	}
+}
+
+// TestLRUEviction: the memory tier evicts least-recently-used entries
+// once over budget, and evicted plans are still served from disk.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, 1) // 1-byte budget: at most one resident plan
+	plan := compileTestPlan(t, "resnet18", 1)
+	k1, k2 := testKey("resnet18", 1), testKey("resnet18", 2)
+	if err := s.Put(k1, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, plan); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.mem.len(); n != 1 {
+		t.Fatalf("memory tier holds %d plans under a 1-byte budget, want 1", n)
+	}
+	if _, ok := s.Get(k1); !ok {
+		t.Fatal("evicted plan not served from disk")
+	}
+	if st := s.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want DiskHits=1", st)
+	}
+}
+
+// TestDirBackend covers the backend contract directly.
+func TestDirBackend(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load missing: err = %v, want ErrNotFound", err)
+	}
+	if err := d.Remove("deadbeef"); err != nil {
+		t.Fatalf("Remove missing: %v", err)
+	}
+	names := []string{"aa11", "aa22", "bb33"}
+	for i, n := range names {
+		if err := d.Store(n, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwriting with identical bytes (content addressing) is fine.
+	if err := d.Store("aa11", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		if !d.Has(n) {
+			t.Fatalf("Has(%s) = false", n)
+		}
+		data, err := d.Load(n)
+		if err != nil || len(data) != 1 || data[0] != byte(i) {
+			t.Fatalf("Load(%s) = %v, %v", n, data, err)
+		}
+	}
+	got, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(names) {
+		t.Fatalf("List() = %v, want %v", got, names)
+	}
+	if err := d.Remove("aa22"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Has("aa22") {
+		t.Fatal("Has after Remove")
+	}
+}
+
+// TestHashComposition: the content hash must move with every key field
+// and with the code version — and nothing else.
+func TestHashComposition(t *testing.T) {
+	base := testKey("resnet18", 1)
+	seen := map[string]string{base.Hash(): "base"}
+	for name, k := range map[string]Key{
+		"network": {Network: "gpt2", Mode: base.Mode, Bits: base.Bits, Delta: base.Delta, Seed: base.Seed},
+		"mode":    {Network: base.Network, Mode: vf.Sprint.String(), Bits: base.Bits, Delta: base.Delta, Seed: base.Seed},
+		"bits":    {Network: base.Network, Mode: base.Mode, Bits: 4, Delta: base.Delta, Seed: base.Seed},
+		"delta":   {Network: base.Network, Mode: base.Mode, Bits: base.Bits, Delta: 8, Seed: base.Seed},
+		"seed":    {Network: base.Network, Mode: base.Mode, Bits: base.Bits, Delta: base.Delta, Seed: 7},
+	} {
+		h := k.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("key variation %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+	if base.Hash() != testKey("resnet18", 1).Hash() {
+		t.Fatal("hash is not deterministic")
+	}
+}

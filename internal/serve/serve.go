@@ -11,6 +11,7 @@ import (
 
 	"aim/internal/core"
 	"aim/internal/model"
+	"aim/internal/planstore"
 	"aim/internal/sim"
 	"aim/internal/vf"
 )
@@ -121,6 +122,12 @@ type Options struct {
 	MaxBatch int
 	// Queue is the admission queue depth (default 256).
 	Queue int
+	// PlanCacheDir, when non-empty, backs the plan cache with a
+	// persistent content-addressed store at that directory
+	// (internal/planstore): compiled plans are written through to disk
+	// and a restarted or additional replica loads them instead of
+	// recompiling. Empty keeps the historical in-process-only cache.
+	PlanCacheDir string
 }
 
 // pending is one admitted request waiting for its answer.
@@ -172,8 +179,10 @@ type Server struct {
 // meaningful, small enough that a daemon's memory stays flat.
 const latencyWindow = 4096
 
-// New starts a server and its goroutines; callers must Close it.
-func New(opt Options) *Server {
+// New starts a server and its goroutines; callers must Close it. It
+// fails only when a requested plan-cache directory cannot be opened —
+// a server without persistence never errors.
+func New(opt Options) (*Server, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -183,9 +192,17 @@ func New(opt Options) *Server {
 	if opt.Queue <= 0 {
 		opt.Queue = 256
 	}
+	cache := NewCache()
+	if opt.PlanCacheDir != "" {
+		store, err := planstore.Open(opt.PlanCacheDir)
+		if err != nil {
+			return nil, err
+		}
+		cache = NewCacheWithStore(store)
+	}
 	s := &Server{
 		opt:     opt,
-		cache:   NewCache(),
+		cache:   cache,
 		warm:    sim.NewWarmState(),
 		admit:   make(chan *pending, opt.Queue),
 		exec:    make(chan *batch, opt.Queue),
@@ -197,7 +214,7 @@ func New(opt Options) *Server {
 	for i := 0; i < opt.Workers; i++ {
 		go s.executor()
 	}
-	return s
+	return s, nil
 }
 
 // Close stops the server: formed batches finish, requests still in the
@@ -381,6 +398,9 @@ type Stats struct {
 	Compiles int64
 	// PlanHits counts cache lookups answered by an existing entry.
 	PlanHits int64
+	// DiskHits counts plans loaded from the persistent store instead
+	// of compiled (always 0 without Options.PlanCacheDir).
+	DiskHits int64
 	// Batches counts batches formed; MeanBatch is requests per batch.
 	Batches   int64
 	MeanBatch float64
@@ -394,6 +414,7 @@ func (s *Server) Stats() Stats {
 		Requests: s.requests,
 		Compiles: s.cache.Compiles(),
 		PlanHits: s.cache.Hits(),
+		DiskHits: s.cache.DiskHits(),
 		Batches:  s.batches,
 	}
 	if s.batches > 0 {

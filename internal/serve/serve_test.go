@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
@@ -19,6 +21,17 @@ import (
 // coldNet resolves a zoo network the way the server's compile path
 // does.
 func coldNet(name string) (*model.Network, error) { return model.ByName(name, ZooSeed) }
+
+// newTestServer starts a server, failing the test on the (only
+// possible) error: an unopenable plan-cache directory.
+func newTestServer(tb testing.TB, opt Options) *Server {
+	tb.Helper()
+	s, err := New(opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
 
 func TestCacheCompileOncePerKey(t *testing.T) {
 	c := NewCache()
@@ -146,7 +159,7 @@ func stageEqual(a, b core.StageResult) bool {
 }
 
 func TestSubmitMatchesColdRun(t *testing.T) {
-	s := New(Options{Workers: 2})
+	s := newTestServer(t, Options{Workers: 2})
 	defer s.Close()
 	req := Request{Network: "resnet18", Mode: vf.LowPower}
 	resp, err := s.Submit(context.Background(), req)
@@ -186,7 +199,7 @@ func TestSubmitMatchesColdRun(t *testing.T) {
 }
 
 func TestConcurrentSubmitCompilesOncePerKey(t *testing.T) {
-	s := New(Options{Workers: 4})
+	s := newTestServer(t, Options{Workers: 4})
 	defer s.Close()
 	reqs := make([]Request, 24)
 	for i := range reqs {
@@ -235,7 +248,7 @@ func TestServeListDeterministicAcrossWorkers(t *testing.T) {
 	var reports []string
 	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
 	for _, workers := range counts {
-		s := New(Options{Workers: workers})
+		s := newTestServer(t, Options{Workers: workers})
 		resps, err := s.ServeList(context.Background(), reqs)
 		s.Close()
 		if err != nil {
@@ -259,7 +272,7 @@ func TestServeListDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestSubmitErrors(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestServer(t, Options{Workers: 1})
 	// Unknown networks are rejected at admission: no compile runs and
 	// no plan-cache slot is occupied, so a daemon fed arbitrary names
 	// cannot be grown without bound.
@@ -285,7 +298,7 @@ func TestSubmitErrors(t *testing.T) {
 }
 
 func TestMetricsAndBatching(t *testing.T) {
-	s := New(Options{Workers: 2})
+	s := newTestServer(t, Options{Workers: 2})
 	defer s.Close()
 	if _, err := s.ServeList(context.Background(), mixedList()); err != nil {
 		t.Fatal(err)
@@ -322,7 +335,7 @@ func TestTokensPerSecReference(t *testing.T) {
 // one cached plan (one compile), and the tiers report different
 // runtime behaviour off that shared artifact.
 func TestFidelitySharesPlanCache(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestServer(t, Options{Workers: 1})
 	defer s.Close()
 	base := Request{Network: "mobilenetv2", Mode: vf.LowPower}
 	analytic, err := s.Submit(context.Background(), base)
@@ -348,5 +361,61 @@ func TestFidelitySharesPlanCache(t *testing.T) {
 	}
 	if b.WorstDropMV <= 0 {
 		t.Errorf("spatial tier reported empty drops: %+v", b)
+	}
+}
+
+func TestPlanCacheDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Network: "resnet18", Mode: vf.LowPower}
+
+	// First "process": compiles once, persists the plan to dir.
+	s1 := newTestServer(t, Options{Workers: 2, PlanCacheDir: dir})
+	first, err := s1.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := s1.Stats()
+	if st1.Compiles != 1 || st1.DiskHits != 0 {
+		t.Fatalf("cold process: compiles=%d diskHits=%d, want 1/0", st1.Compiles, st1.DiskHits)
+	}
+	s1.Close()
+
+	// Second "process" sharing the store: the plan comes off disk —
+	// zero compiles — and the served result is byte-identical.
+	s2 := newTestServer(t, Options{Workers: 2, PlanCacheDir: dir})
+	defer s2.Close()
+	second, err := s2.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := s2.Stats()
+	if st2.Compiles != 0 {
+		t.Errorf("warm restart compiled %d plans, want 0 (plan should load from disk)", st2.Compiles)
+	}
+	if st2.DiskHits != 1 {
+		t.Errorf("warm restart diskHits = %d, want 1", st2.DiskHits)
+	}
+	if !stageEqual(first.Report.Baseline, second.Report.Baseline) || !stageEqual(first.Report.AIM, second.Report.AIM) {
+		t.Errorf("disk-loaded plan diverges from freshly compiled:\n  fresh=%+v\n  loaded=%+v",
+			first.Report.AIM.Result, second.Report.AIM.Result)
+	}
+	// A third request on the restarted server is a pure memory hit.
+	if _, err := s2.Submit(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.PlanHits != 1 {
+		t.Errorf("after repeat: diskHits=%d planHits=%d, want 1/1", st.DiskHits, st.PlanHits)
+	}
+}
+
+func TestPlanCacheDirUnopenable(t *testing.T) {
+	// A plain file where the store directory should be must surface as
+	// a construction error, not a silent in-memory fallback.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{PlanCacheDir: file}); err == nil {
+		t.Fatal("New with a file as plan-cache dir: want error, got nil")
 	}
 }

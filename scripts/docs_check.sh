@@ -1,0 +1,47 @@
+#!/bin/sh
+# docs_check.sh — the CI docs gate (`make docs-check`).
+#
+# Two promises the documentation pass made, kept true mechanically:
+#   1. Every Go package under internal/ and cmd/ carries a package doc
+#      comment ("// Package <name> ..." for libraries, "// Command
+#      <name> ..." for main packages), so `go doc` is never empty.
+#   2. Every relative link in ARCHITECTURE.md and README.md resolves
+#      to a file or directory in the repo, so the navigation map never
+#      rots.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+for dir in internal/*/ cmd/*/; do
+	[ -d "$dir" ] || continue
+	name=$(basename "$dir")
+	# Any non-test Go file may carry the package comment; look for the
+	# canonical "// Package <name>" (libraries) or "// Command <name>"
+	# (main packages) form.
+	if ! grep -qsE "^// (Package|Command) $name " "$dir"*.go; then
+		echo "docs-check: $dir has no '// Package $name ...' or '// Command $name ...' doc comment"
+		fail=1
+	fi
+done
+
+for md in ARCHITECTURE.md README.md; do
+	[ -f "$md" ] || { echo "docs-check: $md is missing"; fail=1; continue; }
+	# Pull every markdown link target, keep the relative ones (no
+	# scheme, no pure-anchor), strip any #fragment, and require the
+	# path to exist.
+	for target in $(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//' |
+		grep -vE '^(https?:|mailto:|#)' | sed 's/#.*$//' | sort -u); do
+		[ -n "$target" ] || continue
+		if [ ! -e "$target" ]; then
+			echo "docs-check: $md links to $target, which does not exist"
+			fail=1
+		fi
+	done
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "docs-check: FAILED"
+	exit 1
+fi
+echo "docs-check: OK"

@@ -34,15 +34,32 @@ type ServerOptions struct {
 	MaxBatch int
 	// Queue is the admission queue depth (default 256).
 	Queue int
+	// PlanCacheDir, when non-empty, persists compiled plans to a
+	// content-addressed store at that directory and loads matching
+	// plans back on later runs. The cache key is the sha256 of
+	// everything the compile consumes — network, mode, bits, δ, seed —
+	// plus the compiler generation, so a restarted server (or another
+	// replica sharing the directory) skips the cold compile, and a
+	// code change that affects plan content invalidates every stale
+	// entry at once. Corrupt or stale entries fall back to a
+	// recompile; results are identical either way. Empty keeps the
+	// cache in-process only.
+	PlanCacheDir string
 }
 
-// NewServer starts a serving runtime; callers must Close it.
-func NewServer(opt ServerOptions) *Server {
-	return &Server{inner: serve.New(serve.Options{
-		Workers:  opt.Workers,
-		MaxBatch: opt.MaxBatch,
-		Queue:    opt.Queue,
-	})}
+// NewServer starts a serving runtime; callers must Close it. It fails
+// only when PlanCacheDir is set but cannot be opened.
+func NewServer(opt ServerOptions) (*Server, error) {
+	inner, err := serve.New(serve.Options{
+		Workers:      opt.Workers,
+		MaxBatch:     opt.MaxBatch,
+		Queue:        opt.Queue,
+		PlanCacheDir: opt.PlanCacheDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner}, nil
 }
 
 // Close drains in-flight batches and stops the server. Idempotent;
@@ -113,8 +130,10 @@ func (s *Server) ServeList(ctx context.Context, cfgs []Config) ([]Result, error)
 type ServerStats struct {
 	// Requests counts answered requests; Compiles counts plan
 	// compilations (one per distinct cache key); PlanHits counts
-	// cache lookups answered by an existing plan.
-	Requests, Compiles, PlanHits int64
+	// cache lookups answered by an existing plan; DiskHits counts
+	// plans loaded from the persistent store instead of compiled
+	// (always 0 without ServerOptions.PlanCacheDir).
+	Requests, Compiles, PlanHits, DiskHits int64
 	// Batches counts admission batches; MeanBatch is requests per
 	// batch.
 	Batches   int64
@@ -126,7 +145,7 @@ func (s *Server) Stats() ServerStats {
 	st := s.inner.Stats()
 	return ServerStats{
 		Requests: st.Requests, Compiles: st.Compiles, PlanHits: st.PlanHits,
-		Batches: st.Batches, MeanBatch: st.MeanBatch,
+		DiskHits: st.DiskHits, Batches: st.Batches, MeanBatch: st.MeanBatch,
 	}
 }
 
@@ -149,7 +168,7 @@ func (s *Server) Metrics() ServerMetrics {
 	return ServerMetrics{
 		ServerStats: ServerStats{
 			Requests: m.Requests, Compiles: m.Compiles, PlanHits: m.PlanHits,
-			Batches: m.Batches, MeanBatch: m.MeanBatch,
+			DiskHits: m.DiskHits, Batches: m.Batches, MeanBatch: m.MeanBatch,
 		},
 		Wall: m.Wall, ReqPerSec: m.ReqPerSec,
 		P50: m.P50, P95: m.P95, P99: m.P99,
