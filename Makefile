@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-rtog bench-pdn bench-serve bench-spatial bench-planstore docs-check lint ci
+.PHONY: all build vet fmt-check test race fuzz-smoke bench bench-rtog bench-pdn bench-serve bench-spatial bench-planstore bench-http docs-check lint ci
 
 all: build
 
@@ -24,6 +24,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fuzz smoke: a few seconds per native fuzz target on the two hostile
+# input boundaries — the HTTP submit decoder and the scenario-mix
+# parser. PRs 2–6 each fixed a panic at an input boundary; this keeps
+# the corpus growing without paying a long fuzz campaign in CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzSubmitDecode' -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz 'FuzzParseMix' -fuzztime 10s ./cmd/aimserve
 
 # Bench smoke: one iteration of the Fig. 3 regeneration proves the
 # benchmark harness wires up without paying full benchmark time.
@@ -124,6 +132,18 @@ bench-planstore:
 	@$(bench_json) BENCH_planstore.txt > BENCH_planstore.json
 	@rm -f BENCH_planstore.txt
 	@cat BENCH_planstore.json
+
+# Network-serving trajectory: the HTTP front door under a measured
+# traffic ramp — a steady phase near half the spatial-tier capacity,
+# then a 4x burst, with the identical burst replayed against a
+# ladder-off control server. BENCH_http.json carries p50/p95/p99,
+# shed-rate and the per-tier serve mix for each phase (min-of-3 by
+# burst p95). The acceptance bars: compiles == 1 (every tier of every
+# run served one compiled plan) and the laddered burst p95 under the
+# ladder-off control's.
+bench-http:
+	$(GO) run ./cmd/aimserve bench-http -o BENCH_http.json
+	@cat BENCH_http.json
 
 # Docs gate: every internal package (and command) must carry a package
 # doc comment, and every relative link in ARCHITECTURE.md and README.md

@@ -3,9 +3,12 @@ package aim
 import (
 	"context"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"aim/internal/core"
 	"aim/internal/model"
@@ -13,8 +16,8 @@ import (
 	"aim/internal/xrand"
 )
 
-// newTestServer starts a Server and fails the test on error (only an
-// unopenable plan-cache dir can make NewServer fail).
+// newTestServer starts a Server and fails the test on error (invalid
+// options or an unopenable plan-cache dir).
 func newTestServer(t testing.TB, opt ServerOptions) *Server {
 	t.Helper()
 	srv, err := NewServer(opt)
@@ -368,5 +371,59 @@ func TestRunDeterministic(t *testing.T) {
 	b, _ := Run(Config{Network: "resnet18"})
 	if a != b {
 		t.Error("Run must be deterministic")
+	}
+}
+
+func TestNewServerValidatesOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  ServerOptions
+		want string
+	}{
+		{"negative rate", ServerOptions{RatePerClient: -1}, "negative per-client rate"},
+		{"negative burst", ServerOptions{RatePerClient: 1, RateBurst: -2}, "negative rate-limit burst"},
+		{"burst without rate", ServerOptions{RateBurst: 4}, "without a per-client rate"},
+		{"negative target", ServerOptions{TargetP95: -time.Second}, "negative SLO target"},
+		{"negative queue", ServerOptions{Queue: -1}, "negative queue depth"},
+	}
+	for _, tc := range cases {
+		if _, err := NewServer(tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: NewServer err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestServerHandlerServesAndDrains: the public Handler wires the same
+// runtime Submit uses, and Drain gates HTTP without touching the
+// in-process path.
+func TestServerHandlerServesAndDrains(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{Workers: 1})
+	defer srv.Close()
+	h := srv.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/submit",
+		strings.NewReader(`{"network":"resnet18"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("submit over HTTP: status %d, body %s", rec.Code, rec.Body)
+	}
+	srv.Drain()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/submit",
+		strings.NewReader(`{"network":"resnet18"}`)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain HTTP status = %d, want 503", rec.Code)
+	}
+	if _, err := srv.Submit(context.Background(), Config{Network: "resnet18"}); err != nil {
+		t.Errorf("in-process Submit after Drain: %v", err)
+	}
+	m := srv.Metrics()
+	if m.ServedSpatial != 0 || m.ServedAnalytic != 2 {
+		t.Errorf("served mix = %d analytic / %d spatial, want 2/0", m.ServedAnalytic, m.ServedSpatial)
+	}
+	if m.LadderTier != "spatial" {
+		t.Errorf("idle ladder tier = %q, want spatial", m.LadderTier)
+	}
+	if m.ShedRate != 0 {
+		t.Errorf("shed rate = %v with no refusals", m.ShedRate)
 	}
 }

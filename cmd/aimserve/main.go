@@ -1,16 +1,22 @@
-// Command aimserve drives the compile-once serving runtime with a
-// synthetic traffic mix — the paper's d-Matrix/Houmo scenario of a PIM
-// chip serving models under load. It builds a deterministic request
-// list from a scenario mix spanning the evaluation zoo, submits it
-// closed-loop with optional Poisson arrival pacing, and prints the
-// deterministic aggregate report (identical bytes for any worker
-// count) beside the load-dependent serving metrics.
+// Command aimserve drives the compile-once serving runtime — the
+// paper's d-Matrix/Houmo scenario of a PIM chip serving models under
+// load. It has three modes:
 //
-// Usage:
+//	aimserve          closed-loop load generator (deterministic
+//	                  aggregate report beside serving metrics)
+//	aimserve serve    host the HTTP/JSON API on an address
+//	aimserve bench-http  traffic-ramp benchmark, JSON to a file
 //
-//	aimserve [-n 48] [-rate 0] [-mix zoo|llm|vision|net:mode,...]
+// Load-generator usage:
+//
+//	aimserve [-n 48] [-rate 0] [-arrivals poisson|bursty|diurnal]
+//	         [-burst-factor 4] [-period 2s] [-mix zoo|llm|vision|net:mode,...]
 //	         [-workers N] [-beta 50] [-delta 0] [-seed 1] [-parallel 1]
-//	         [-fidelity analytic|packed|spatial]
+//	         [-fidelity analytic|packed|spatial|auto] [-target URL]
+//
+// With -target the generator POSTs the same deterministic request
+// list to a live `aimserve serve` instance instead of an in-process
+// server, counting 429 refusals as shed load.
 package main
 
 import (
@@ -19,7 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -32,7 +40,21 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(dispatch(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// dispatch routes to a subcommand; bare arguments mean the
+// load-generator mode.
+func dispatch(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:], stdout, stderr)
+		case "bench-http":
+			return runBenchHTTP(args[1:], stdout, stderr)
+		}
+	}
+	return run(args, stdout, stderr)
 }
 
 // scenario is one (network, mode) deployment point of a mix.
@@ -71,7 +93,7 @@ func parseMix(s string) ([]scenario, error) {
 	var out []scenario
 	for _, part := range strings.Split(s, ",") {
 		net, modeName, ok := strings.Cut(part, ":")
-		if !ok {
+		if !ok || net == "" {
 			return nil, fmt.Errorf("mix %q: want a named mix (zoo|llm|vision) or net:mode pairs", s)
 		}
 		var mode vf.Mode
@@ -88,20 +110,88 @@ func parseMix(s string) ([]scenario, error) {
 	return out, nil
 }
 
-// run is the testable entry point.
+// arrivalOffsets builds the deterministic arrival schedule: cumulative
+// offsets from the run start, drawn from a named stream so a fixed
+// seed replays the same traffic. The rate profile is
+//
+//	poisson  constant rate
+//	bursty   square wave — factor× the base rate for the first half
+//	         of every period, base rate for the second
+//	diurnal  sinusoid between the base rate and factor× it
+//
+// A nil schedule (rate 0) means closed-loop: submit everything at
+// once.
+func arrivalOffsets(kind string, n int, rate, factor float64, period time.Duration, seed int64) ([]time.Duration, error) {
+	switch kind {
+	case "poisson", "bursty", "diurnal":
+	default:
+		return nil, fmt.Errorf("arrivals %q: want poisson, bursty or diurnal", kind)
+	}
+	if rate <= 0 {
+		return nil, nil
+	}
+	if kind != "poisson" {
+		if factor < 1 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+			return nil, fmt.Errorf("burst-factor %v: want a factor >= 1", factor)
+		}
+		if period <= 0 {
+			return nil, fmt.Errorf("period %v: want a positive period", period)
+		}
+	}
+	arr := xrand.NewNamed(seed, "aimserve/arrivals")
+	p := period.Seconds()
+	t := 0.0
+	out := make([]time.Duration, n)
+	for i := range out {
+		r := rate
+		switch kind {
+		case "bursty":
+			if math.Mod(t, p) < p/2 {
+				r = rate * factor
+			}
+		case "diurnal":
+			r = rate * (1 + (factor-1)*(1+math.Sin(2*math.Pi*t/p))/2)
+		}
+		t += arr.Exp(r)
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out, nil
+}
+
+// percentileDur is the same nearest-rank percentile the server uses,
+// over client-side samples.
+func percentileDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// run is the load-generator entry point.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("aimserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	n := fs.Int("n", 48, "number of requests")
-	rate := fs.Float64("rate", 0, "Poisson arrival rate in req/s (0 = submit everything immediately)")
+	rate := fs.Float64("rate", 0, "base arrival rate in req/s (0 = submit everything immediately)")
+	arrivals := fs.String("arrivals", "poisson", "arrival process: poisson|bursty|diurnal (needs -rate)")
+	burstFactor := fs.Float64("burst-factor", 4, "peak-to-base rate ratio for bursty/diurnal arrivals")
+	period := fs.Duration("period", 2*time.Second, "burst/diurnal cycle length")
 	mix := fs.String("mix", "zoo", "scenario mix: zoo|llm|vision or a net:mode[,net:mode...] list")
 	workers := fs.Int("workers", 0, "executor pool size (0 = one per CPU)")
 	beta := fs.Int("beta", 50, "IR-Booster stability horizon β (cycles)")
 	delta := fs.Int("delta", 0, "WDS shift δ (0 = default 16, -1 = disable WDS)")
 	seed := fs.Int64("seed", 1, "random seed (scenario draws, arrival gaps, pipeline)")
 	parallel := fs.Int("parallel", 1, "per-request wave pool (fleet parallelism comes from -workers)")
-	fidelityName := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial (runtime knob; plans are shared across tiers)")
+	fidelityName := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial, or auto for the SLO ladder (runtime knob; plans are shared across tiers)")
 	planCacheDir := fs.String("plan-cache-dir", "", "persist compiled plans to this directory and reuse them across restarts (empty = in-process cache only)")
+	target := fs.String("target", "", "POST to a live aimserve serve URL instead of an in-process server")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -113,10 +203,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "aimserve: %v\n", err)
 		return 2
 	}
-	fidelity, err := sim.ParseFidelity(*fidelityName)
-	if err != nil {
-		fmt.Fprintf(stderr, "aimserve: %v\n", err)
-		return 2
+	var fidelity sim.Fidelity
+	adapt := *fidelityName == "auto"
+	if !adapt {
+		fidelity, err = sim.ParseFidelity(*fidelityName)
+		if err != nil {
+			fmt.Fprintf(stderr, "aimserve: %v\n", err)
+			return 2
+		}
 	}
 	if *n <= 0 {
 		fmt.Fprintf(stderr, "aimserve: -n %d: want a positive request count\n", *n)
@@ -124,7 +218,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// The request list and arrival schedule are deterministic in the
-	// seed: scenario draws and Poisson gaps come from their own named
+	// seed: scenario draws and arrival gaps come from their own named
 	// streams, so a fixed invocation replays the same traffic.
 	pick := xrand.NewNamed(*seed, "aimserve/mix")
 	reqs := make([]serve.Request, *n)
@@ -133,21 +227,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reqs[i] = serve.Request{
 			Network: sc.net, Mode: sc.mode,
 			Beta: *beta, Delta: *delta, Seed: *seed, Parallel: *parallel,
-			Fidelity: fidelity,
+			Fidelity: fidelity, AdaptFidelity: adapt,
 		}
 	}
-	var offsets []time.Duration
-	if *rate > 0 {
-		arr := xrand.NewNamed(*seed, "aimserve/arrivals")
-		t := 0.0
-		offsets = make([]time.Duration, *n)
-		for i := range offsets {
-			t += arr.Exp(*rate)
-			offsets[i] = time.Duration(t * float64(time.Second))
-		}
+	offsets, err := arrivalOffsets(*arrivals, *n, *rate, *burstFactor, *period, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "aimserve: %v\n", err)
+		return 2
 	}
 
-	srv, err := serve.New(serve.Options{Workers: *workers, PlanCacheDir: *planCacheDir})
+	if *target != "" {
+		return runAgainstTarget(*target, reqs, offsets, stdout, stderr)
+	}
+
+	// Closed loop against an in-process server: size the queue to the
+	// whole request list so admission never sheds and the aggregate
+	// report stays deterministic.
+	queue := *n
+	if queue < 256 {
+		queue = 256
+	}
+	srv, err := serve.New(serve.Options{Workers: *workers, Queue: queue, PlanCacheDir: *planCacheDir})
 	if err != nil {
 		fmt.Fprintf(stderr, "aimserve: %v\n", err)
 		return 2
@@ -194,5 +294,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			m.DiskHits, *planCacheDir)
 	}
 	fmt.Fprintf(stdout, "  batching:    %d batches, mean %.1f req/batch\n", m.Batches, m.MeanBatch)
+	if adapt {
+		fmt.Fprintf(stdout, "  ladder:      tier %s, %d down / %d up; served %d analytic / %d packed / %d spatial\n",
+			m.LadderTier, m.LadderDowns, m.LadderUps,
+			m.ServedAnalytic, m.ServedPacked, m.ServedSpatial)
+	}
 	return 0
+}
+
+// sortDurations sorts a latency sample in place and returns it.
+func sortDurations(d []time.Duration) []time.Duration {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d
 }

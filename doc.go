@@ -116,4 +116,19 @@
 // silently fall back to recompilation — persistence failures never
 // fail serving. See ARCHITECTURE.md for the repository map and the
 // README for the on-disk format and measured restart numbers.
+//
+// The Server is a four-layer network stack: Server.Handler exposes an
+// HTTP/JSON front door (POST /v1/submit, GET /v1/metrics and
+// /v1/healthz, graceful Server.Drain), an admission layer enforces
+// per-client token-bucket rate limits (ServerOptions.RatePerClient)
+// and sheds load explicitly with 429 + Retry-After once the bounded
+// queue fills, and the scheduling layer runs an SLO-driven degradation
+// ladder (ServerOptions.TargetP95): requests submitted with auto
+// fidelity are served at the highest tier whose observed p95 fits the
+// target, stepping spatial → packed → analytic under overload and back
+// up with headroom. Because fidelity stays outside the plan-cache key,
+// a tier switch is a free cache hit — under a 4x traffic burst the
+// ladder trades fidelity for latency with exactly one compile (see
+// BENCH_http.json from `make bench-http`, and `aimserve serve` /
+// `aimserve -target` for hosting and driving the API).
 package aim

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the admission layer: how requests enter the server.
+// Submit applies the per-client rate limiter, then attempts a
+// non-blocking enqueue into the bounded admission queue — a full queue
+// sheds the request with an *OverloadError instead of queueing
+// unbounded latency. The transport layer translates OverloadError into
+// HTTP 429 + Retry-After.
+
+// OverloadError refuses a request at admission: either the per-client
+// rate limiter (RateLimited) or the bounded queue (shedding) said no.
+// RetryAfter is the server's hint for when capacity should exist.
+type OverloadError struct {
+	// RetryAfter is how long the client should wait before retrying:
+	// the time to the next token for a rate-limited request, an
+	// estimate of the queue drain time for a shed one.
+	RetryAfter time.Duration
+	// RateLimited distinguishes the per-client limiter (true) from
+	// queue-full load shedding (false).
+	RateLimited bool
+}
+
+func (e *OverloadError) Error() string {
+	if e.RateLimited {
+		return fmt.Sprintf("serve: client rate limit exceeded (retry after %v)", e.RetryAfter)
+	}
+	return fmt.Sprintf("serve: overloaded, request shed (retry after %v)", e.RetryAfter)
+}
+
+// shedRetryAfter estimates when a shed request should retry: the
+// smoothed recent admission-to-answer latency (which already includes
+// queueing under load, so it tracks how long the backlog takes to
+// move), clamped to [100ms, 5s] so a cold or idle server never
+// advertises nonsense.
+func (s *Server) shedRetryAfter() time.Duration {
+	est := time.Duration(s.ewmaLatency.Load())
+	if est < 100*time.Millisecond {
+		est = 100 * time.Millisecond
+	}
+	if est > 5*time.Second {
+		est = 5 * time.Second
+	}
+	return est
+}
+
+// observeLatency feeds one answered request's latency into the bounded
+// percentile ring, the shed estimator's EWMA and the degradation
+// ladder.
+func (s *Server) observeLatency(lat time.Duration) {
+	// EWMA with a 1/8 step: cheap, lock-free, good enough for a
+	// Retry-After hint.
+	for {
+		old := s.ewmaLatency.Load()
+		var next int64
+		if old == 0 {
+			next = int64(lat)
+		} else {
+			next = old + (int64(lat)-old)/8
+		}
+		if s.ewmaLatency.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	s.ladder.observe(lat)
+	s.mu.Lock()
+	s.requests++
+	if len(s.latencies) < latencyWindow {
+		s.latencies = append(s.latencies, lat)
+	} else {
+		s.latencies[s.latHead] = lat
+		s.latHead = (s.latHead + 1) % latencyWindow
+	}
+	s.mu.Unlock()
+}
+
+// Submit admits one request and blocks until its answer, ctx
+// cancellation, or server close. The returned Report equals what a
+// cold one-shot run of the same request computes; only the latency
+// depends on load. A request the admission layer refuses — rate limit
+// or full queue — fails fast with *OverloadError rather than waiting.
+func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
+	nr, key, err := req.normalize()
+	if err != nil {
+		return Response{}, err
+	}
+	if s.limiter != nil && nr.Client != "" {
+		if ok, retry := s.limiter.allow(nr.Client); !ok {
+			s.rateLimited.Add(1)
+			return Response{}, &OverloadError{RetryAfter: retry, RateLimited: true}
+		}
+	}
+	p := &pending{req: nr, key: key, reply: make(chan answer, 1), enq: time.Now()}
+	select {
+	case <-s.stop:
+		return Response{}, ErrClosed
+	default:
+	}
+	select {
+	case s.admit <- p:
+	default:
+		// Bounded queue full: shed explicitly instead of blocking. The
+		// client gets a Retry-After hint; latency for everyone already
+		// admitted stays bounded.
+		s.shed.Add(1)
+		return Response{}, &OverloadError{RetryAfter: s.shedRetryAfter()}
+	}
+	finish := func(a answer) (Response, error) {
+		if a.err != nil {
+			return Response{}, a.err
+		}
+		a.resp.Latency = time.Since(p.enq)
+		s.observeLatency(a.resp.Latency)
+		return a.resp, nil
+	}
+	select {
+	case a := <-p.reply:
+		return finish(a)
+	case <-s.stop:
+		// The answer may have raced the close; prefer it.
+		select {
+		case a := <-p.reply:
+			return finish(a)
+		default:
+		}
+		return Response{}, ErrClosed
+	case <-ctx.Done():
+		select {
+		case a := <-p.reply:
+			return finish(a)
+		default:
+		}
+		return Response{}, ctx.Err()
+	}
+}
+
+// ServeList submits every request concurrently and returns the
+// responses in request-list order — the deterministic merge the
+// aggregate report renders from. The first error (in list order)
+// is returned, if any.
+func (s *Server) ServeList(ctx context.Context, reqs []Request) ([]Response, error) {
+	resps := make([]Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.Submit(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"aim/internal/core"
+	"aim/internal/model"
+)
+
+// This file is the execution layer: the pool of executor goroutines
+// draining the scheduling layer's batches. Each batch does one cache
+// lookup (compiling at most once per key across the fleet), then runs
+// its requests back to back so the plan and the warm scratch stay hot.
+// Adaptive requests resolve their fidelity tier here — at execution
+// time, from the ladder — so a tier stepped down mid-queue serves at
+// the tier that matches current load.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for b := range s.exec {
+		s.mu.Lock()
+		s.batches++
+		s.batched += int64(len(b.reqs))
+		s.mu.Unlock()
+		plan, hit, err := s.cache.Plan(b.key, func() (*core.Plan, error) {
+			net, err := model.ByName(b.key.Network, ZooSeed)
+			if err != nil {
+				return nil, err
+			}
+			return s.pipelineFor(b.reqs[0].req).Compile(net), nil
+		})
+		for _, p := range b.reqs {
+			if err != nil {
+				p.reply <- answer{err: err}
+				continue
+			}
+			r := p.req
+			if r.AdaptFidelity {
+				// The ladder only picks *which* tier runs; the tier's
+				// bytes for this request are load-independent.
+				r.Fidelity = s.ladder.tier()
+			}
+			rep := s.pipelineFor(r).Execute(plan)
+			s.served[r.Fidelity].Add(1)
+			p.reply <- answer{resp: Response{Report: rep, Tier: r.Fidelity, PlanCached: hit}}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzSubmitDecode throws arbitrary bytes at the HTTP request decoder
+// and the admission validator behind it — the exact surface a public
+// front door exposes. The invariant is the repo-wide one PRs 2–6 each
+// re-learned at some input boundary: hostile input produces errors,
+// never panics, and never reaches the compiler.
+func FuzzSubmitDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"network":"resnet18"}`,
+		`{"network":"resnet18","mode":"sprint","beta":25,"bits":4,"delta":8,"seed":7,"parallel":2,"fidelity":"spatial","client":"alice"}`,
+		`{"network":"gpt2","fidelity":"auto"}`,
+		`{"network":"resnet18","delta":-1}`,
+		`{"network":"alexnet"}`,
+		`{"network":"resnet18","bits":40}`,
+		`{"network":"resnet18","mode":"turbo"}`,
+		`{"bogus":1}`,
+		`{"network":"resnet18"} trailing`,
+		`[{"network":"resnet18"}]`,
+		`{"network":7}`,
+		`{"seed":9223372036854775807,"network":"resnet18"}`,
+		`{"network":"resnet18","parallel":-9000000}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeSubmit(data)
+		if err != nil {
+			return
+		}
+		// A decoded request flows into admission validation; that must
+		// not panic either, and a validated request must carry
+		// canonical knobs.
+		nr, key, err := req.normalize()
+		if err != nil {
+			return
+		}
+		if nr.Bits < 2 || nr.Bits > 16 || nr.Parallel < 1 || nr.Beta <= 0 || nr.Seed == 0 {
+			t.Fatalf("normalize accepted non-canonical request %+v", nr)
+		}
+		if key.Network != nr.Network {
+			t.Fatalf("key/network mismatch: %+v vs %+v", key, nr)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"aim/internal/sim"
+)
+
+// feed pushes n latencies into the ladder, advancing the fake clock a
+// little per observation so cooldowns can elapse.
+func feed(l *ladder, clk *fakeClock, n int, lat time.Duration) {
+	for i := 0; i < n; i++ {
+		clk.advance(50 * time.Millisecond)
+		l.observe(lat)
+	}
+}
+
+func newTestLadder(target time.Duration) (*ladder, *fakeClock) {
+	clk := newFakeClock()
+	l := newLadder(target)
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLadderStepsDownUnderOverloadAndBottomsOut(t *testing.T) {
+	l, clk := newTestLadder(100 * time.Millisecond)
+	if l.tier() != sim.SpatialPDN {
+		t.Fatalf("fresh ladder tier = %v, want spatial", l.tier())
+	}
+	// Sustained p95 over target: spatial → packed.
+	feed(l, clk, ladderMinSamples, 200*time.Millisecond)
+	if l.tier() != sim.PackedToggles {
+		t.Fatalf("after overload tier = %v, want packed", l.tier())
+	}
+	// Still over target after the window refills: packed → analytic.
+	feed(l, clk, ladderMinSamples, 200*time.Millisecond)
+	if l.tier() != sim.AnalyticToggles {
+		t.Fatalf("after sustained overload tier = %v, want analytic", l.tier())
+	}
+	// The ladder has a floor: analytic never steps further down.
+	feed(l, clk, ladderMinSamples, 200*time.Millisecond)
+	if l.tier() != sim.AnalyticToggles {
+		t.Fatalf("tier fell below the analytic floor: %v", l.tier())
+	}
+	if _, downs, ups := l.snapshot(); downs != 2 || ups != 0 {
+		t.Errorf("steps = %d down / %d up, want 2/0", downs, ups)
+	}
+}
+
+func TestLadderStepsBackUpWithHeadroom(t *testing.T) {
+	l, clk := newTestLadder(100 * time.Millisecond)
+	feed(l, clk, ladderMinSamples, 200*time.Millisecond) // → packed
+	// Headroom returns: p95 under half the target steps back up.
+	feed(l, clk, ladderMinSamples, 20*time.Millisecond)
+	if l.tier() != sim.SpatialPDN {
+		t.Fatalf("after recovery tier = %v, want spatial", l.tier())
+	}
+	// And the ceiling holds.
+	feed(l, clk, ladderMinSamples, 20*time.Millisecond)
+	if l.tier() != sim.SpatialPDN {
+		t.Fatalf("tier rose above spatial: %v", l.tier())
+	}
+	if _, downs, ups := l.snapshot(); downs != 1 || ups != 1 {
+		t.Errorf("steps = %d down / %d up, want 1/1", downs, ups)
+	}
+}
+
+func TestLadderHysteresisBand(t *testing.T) {
+	// Latencies between target/2 and target are in the dead band: no
+	// steps either way, no flapping on the boundary.
+	l, clk := newTestLadder(100 * time.Millisecond)
+	feed(l, clk, 4*ladderMinSamples, 80*time.Millisecond)
+	if l.tier() != sim.SpatialPDN {
+		t.Errorf("dead-band latencies moved the ladder to %v", l.tier())
+	}
+	if _, downs, ups := l.snapshot(); downs != 0 || ups != 0 {
+		t.Errorf("steps in the dead band: %d down / %d up", downs, ups)
+	}
+}
+
+func TestLadderNeedsMinimumSamples(t *testing.T) {
+	l, clk := newTestLadder(100 * time.Millisecond)
+	feed(l, clk, ladderMinSamples-1, time.Second)
+	if l.tier() != sim.SpatialPDN {
+		t.Errorf("ladder stepped on %d samples (floor %d)", ladderMinSamples-1, ladderMinSamples)
+	}
+}
+
+func TestLadderCooldownDampsSteps(t *testing.T) {
+	l, clk := newTestLadder(100 * time.Millisecond)
+	// Flood the window without advancing time past the cooldown: at
+	// most one step may happen.
+	for i := 0; i < 10*ladderWindow; i++ {
+		l.observe(300 * time.Millisecond)
+	}
+	_ = clk
+	if _, downs, _ := l.snapshot(); downs > 1 {
+		t.Errorf("%d steps inside one cooldown window, want at most 1", downs)
+	}
+}
+
+func TestLadderDisabled(t *testing.T) {
+	l, _ := newTestLadder(0)
+	for i := 0; i < 5*ladderWindow; i++ {
+		l.observe(time.Hour)
+	}
+	if l.tier() != sim.SpatialPDN {
+		t.Errorf("disabled ladder moved to %v, want spatial always", l.tier())
+	}
+}

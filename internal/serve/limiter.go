@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiter is the admission layer's per-client token bucket (the restic
+// internal/limiter idiom, adapted from bytes-per-second to
+// requests-per-second): each client identity owns a bucket holding up
+// to burst tokens that refills at rate tokens per second, and every
+// admitted request spends one. A client that has spent its bucket is
+// refused with the time until the next token — never queued — so one
+// chatty client cannot grow everyone else's latency.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket depth
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token balance, refilled lazily on access.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiterMaxClients bounds the bucket map: a daemon fed arbitrary
+// client identities must not grow memory without bound. Crossing the
+// bound sweeps idle (fully refilled) clients — evicting an idle client
+// is free, because a fresh bucket starts full anyway.
+const limiterMaxClients = 4096
+
+// newLimiter builds a limiter at rate requests/second with the given
+// burst depth (0 = rate rounded up, minimum 1). Callers guarantee
+// rate > 0; Options.Validate rejects everything else.
+func newLimiter(rate float64, burst int) *limiter {
+	b := float64(burst)
+	if burst == 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &limiter{rate: rate, burst: b, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from client's bucket. When the bucket is
+// empty it reports false and how long until a token is available — the
+// Retry-After hint the transport layer surfaces.
+func (l *limiter) allow(client string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk := l.buckets[client]
+	if bk == nil {
+		if len(l.buckets) >= limiterMaxClients {
+			l.sweep(now)
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = bk
+	} else {
+		bk.tokens = math.Min(l.burst, bk.tokens+l.rate*now.Sub(bk.last).Seconds())
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - bk.tokens) / l.rate * float64(time.Second))
+}
+
+// sweep drops buckets that have refilled to full. Called with mu held.
+func (l *limiter) sweep(now time.Time) {
+	for c, bk := range l.buckets {
+		if bk.tokens+l.rate*now.Sub(bk.last).Seconds() >= l.burst {
+			delete(l.buckets, c)
+		}
+	}
+}
+
+// clients reports how many buckets are live (test hook).
+func (l *limiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

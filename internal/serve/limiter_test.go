@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for the limiter and ladder tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLimiterBurstThenRate(t *testing.T) {
+	clk := newFakeClock()
+	l := newLimiter(2, 4) // 2 req/s, burst 4
+	l.now = clk.now
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("alice"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.allow("alice")
+	if ok {
+		t.Fatal("request over burst admitted")
+	}
+	// Empty bucket at 2 tokens/s: the next token is 500ms out.
+	if retry != 500*time.Millisecond {
+		t.Errorf("retry = %v, want 500ms", retry)
+	}
+	// Refill honors the rate: after 1s, exactly 2 more requests pass.
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("alice"); !ok {
+			t.Fatalf("refilled request %d refused", i)
+		}
+	}
+	if ok, _ := l.allow("alice"); ok {
+		t.Fatal("third request after a 1s refill at 2/s admitted")
+	}
+}
+
+func TestLimiterClientsAreIndependent(t *testing.T) {
+	clk := newFakeClock()
+	l := newLimiter(1, 1)
+	l.now = clk.now
+	if ok, _ := l.allow("alice"); !ok {
+		t.Fatal("alice's first request refused")
+	}
+	if ok, _ := l.allow("alice"); ok {
+		t.Fatal("alice's second request admitted over burst 1")
+	}
+	// Bob's bucket is untouched by Alice's spending.
+	if ok, _ := l.allow("bob"); !ok {
+		t.Fatal("bob refused because alice was limited")
+	}
+}
+
+func TestLimiterDefaultBurst(t *testing.T) {
+	// Burst 0 defaults to the rate rounded up, minimum 1.
+	if l := newLimiter(2.5, 0); l.burst != 3 {
+		t.Errorf("burst for rate 2.5 = %v, want 3", l.burst)
+	}
+	if l := newLimiter(0.25, 0); l.burst != 1 {
+		t.Errorf("burst for rate 0.25 = %v, want 1", l.burst)
+	}
+}
+
+func TestLimiterRefillCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	l := newLimiter(10, 2)
+	l.now = clk.now
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("first request refused")
+	}
+	// An hour idle must not bank more than burst tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("request %d after idle refused", i)
+		}
+	}
+	if ok, _ := l.allow("c"); ok {
+		t.Fatal("idle client banked more than burst")
+	}
+}
+
+func TestLimiterSweepBoundsClients(t *testing.T) {
+	clk := newFakeClock()
+	l := newLimiter(1, 1)
+	l.now = clk.now
+	for i := 0; i < limiterMaxClients; i++ {
+		l.allow(fmt.Sprintf("client-%d", i))
+	}
+	if got := l.clients(); got != limiterMaxClients {
+		t.Fatalf("clients = %d, want %d", got, limiterMaxClients)
+	}
+	// All buckets refill to full over 1s at rate 1/burst 1; the next
+	// new client triggers the sweep instead of unbounded growth.
+	clk.advance(time.Second)
+	if ok, _ := l.allow("one-more"); !ok {
+		t.Fatal("new client refused")
+	}
+	if got := l.clients(); got != 1 {
+		t.Errorf("clients after sweep = %d, want 1 (only the new client)", got)
+	}
+}

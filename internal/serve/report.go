@@ -56,6 +56,9 @@ func Render(reqs []Request, resps []Response) string {
 		if err != nil {
 			nr = r
 		}
+		// The client identity never changes result bytes, so rows
+		// collapse across clients.
+		nr.Client = ""
 		rw := byReq[nr]
 		if rw == nil {
 			rw = &row{req: nr, resp: resps[i]}

@@ -1,12 +1,34 @@
+// Package serve is the compile-once/serve-many runtime (the paper's
+// d-Matrix/Houmo serving scenario, §1/§6.8), structured as four
+// explicit layers:
+//
+//	transport  (http.go)       HTTP/JSON front door: decode/validate,
+//	                           per-client identification, graceful drain
+//	admission  (admission.go)  per-client token-bucket rate limiting and
+//	                           a bounded queue with explicit load-shedding
+//	scheduling (scheduling.go, batch former grouping admitted requests by
+//	            ladder.go)     plan, plus the SLO-driven fidelity
+//	                           degradation ladder
+//	execution  (execution.go)  executor pool running compiled plans over
+//	                           warm simulator state
+//
+// A concurrency-safe plan cache keyed by everything the offline
+// compiler consumes sits under the execution layer, so repeated
+// requests for one deployment point amortize the expensive offline
+// phase (LHR proximal tuning, WDS, HR-aware mapping SA) to zero.
+// Per-request results are identical to a cold one-shot run; the
+// degradation ladder only ever changes *which* fidelity tier serves a
+// request, never the bytes a given tier produces.
 package serve
 
 import (
-	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aim/internal/core"
@@ -53,6 +75,19 @@ type Request struct {
 	// analytic, packed and spatial requests alike). Unknown values are
 	// rejected at admission.
 	Fidelity sim.Fidelity
+	// AdaptFidelity hands the tier choice to the scheduling layer's
+	// SLO degradation ladder: the request serves at whatever tier the
+	// ladder holds when its batch executes (SpatialPDN when idle,
+	// stepping down under overload), overriding Fidelity. The served
+	// tier is reported in Response.Tier. Which tier serves depends on
+	// load — but the bytes a given tier produces never change.
+	AdaptFidelity bool
+	// Client identifies the submitting client to the admission layer's
+	// per-client rate limiter (the HTTP transport fills it from the
+	// X-AIM-Client header or the remote address). Empty means no
+	// client identity: such requests are never rate-limited. Client is
+	// not part of the plan key and never affects results.
+	Client string
 }
 
 // normalize applies defaults, validates the compile-relevant knobs and
@@ -104,6 +139,10 @@ type Response struct {
 	// it is deterministic: identical to what a cold one-shot run
 	// returns, no matter how the server batched or parallelized.
 	Report core.Report
+	// Tier is the fidelity tier that actually served the request:
+	// Request.Fidelity, unless AdaptFidelity let the degradation
+	// ladder choose.
+	Tier sim.Fidelity
 	// PlanCached reports whether the plan already existed when the
 	// request's batch executed (scheduling-dependent; excluded from
 	// the deterministic aggregate report).
@@ -112,7 +151,9 @@ type Response struct {
 	Latency time.Duration
 }
 
-// Options configures a Server.
+// Options configures a Server. Zero values select defaults; invalid
+// values (negative depths, rates or targets) are rejected by Validate
+// at construction — never silently clamped.
 type Options struct {
 	// Workers is the executor pool size (default GOMAXPROCS): how many
 	// plan batches run concurrently.
@@ -120,7 +161,9 @@ type Options struct {
 	// MaxBatch bounds how many queued requests the batch former drains
 	// into one admission round (default 64).
 	MaxBatch int
-	// Queue is the admission queue depth (default 256).
+	// Queue is the admission queue depth (default 256). When the queue
+	// is full, Submit sheds the request with an *OverloadError instead
+	// of queueing unbounded latency.
 	Queue int
 	// PlanCacheDir, when non-empty, backs the plan cache with a
 	// persistent content-addressed store at that directory
@@ -128,6 +171,54 @@ type Options struct {
 	// and a restarted or additional replica loads them instead of
 	// recompiling. Empty keeps the historical in-process-only cache.
 	PlanCacheDir string
+	// RatePerClient, when positive, enforces a token-bucket limit of
+	// that many requests per second per client identity
+	// (Request.Client); requests over the limit are refused with an
+	// *OverloadError carrying a Retry-After hint. Zero disables the
+	// limiter. Requests with an empty Client are never rate-limited.
+	RatePerClient float64
+	// Burst is the token-bucket depth (default: RatePerClient rounded
+	// up, minimum 1): how many back-to-back requests one client may
+	// issue before the steady rate applies. Requires RatePerClient.
+	Burst int
+	// TargetP95 enables the SLO-driven fidelity degradation ladder:
+	// when the recent p95 admission-to-answer latency exceeds the
+	// target, requests with AdaptFidelity step down one fidelity tier
+	// (SpatialPDN → PackedToggles → AnalyticToggles); when p95 falls
+	// back under half the target, they step back up. Zero disables the
+	// ladder — adaptive requests then always serve the top tier.
+	TargetP95 time.Duration
+}
+
+// Validate rejects option values that cannot mean anything: negative
+// pool sizes, queue depths, rate limits or SLO targets, and a burst
+// without a rate. Zero values are valid and select defaults.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("serve: negative workers %d (0 = one per CPU)", o.Workers)
+	}
+	if o.MaxBatch < 0 {
+		return fmt.Errorf("serve: negative max batch %d (0 = default 64)", o.MaxBatch)
+	}
+	if o.Queue < 0 {
+		return fmt.Errorf("serve: negative queue depth %d (0 = default 256)", o.Queue)
+	}
+	if o.RatePerClient < 0 {
+		return fmt.Errorf("serve: negative per-client rate %g (0 = unlimited)", o.RatePerClient)
+	}
+	if math.IsNaN(o.RatePerClient) || math.IsInf(o.RatePerClient, 0) {
+		return fmt.Errorf("serve: non-finite per-client rate %g", o.RatePerClient)
+	}
+	if o.Burst < 0 {
+		return fmt.Errorf("serve: negative rate-limit burst %d", o.Burst)
+	}
+	if o.Burst > 0 && o.RatePerClient == 0 {
+		return fmt.Errorf("serve: rate-limit burst %d without a per-client rate", o.Burst)
+	}
+	if o.TargetP95 < 0 {
+		return fmt.Errorf("serve: negative SLO target %v (0 = ladder disabled)", o.TargetP95)
+	}
+	return nil
 }
 
 // pending is one admitted request waiting for its answer.
@@ -149,19 +240,40 @@ type batch struct {
 	reqs []*pending
 }
 
-// Server is the compile-once serving runtime: Submit admits a request
-// into the queue, the batch former groups concurrent admissions by
-// plan key, and the executor pool runs each batch against the shared
-// plan cache, reusing warm simulator state between requests.
+// Server is the layered serving runtime. Submit admits a request
+// through the admission layer (rate limit, bounded queue with
+// shedding), the scheduling layer's batch former groups concurrent
+// admissions by plan key and its degradation ladder picks the fidelity
+// tier for adaptive requests, and the execution layer's pool runs each
+// batch against the shared plan cache, reusing warm simulator state.
+// The transport layer (Handler) puts an HTTP/JSON front door on the
+// same path.
 type Server struct {
-	opt   Options
-	cache *Cache
-	warm  *sim.WarmState
-	admit chan *pending
-	exec  chan *batch
-	stop  chan struct{}
-	once  sync.Once
-	wg    sync.WaitGroup
+	opt     Options
+	cache   *Cache
+	warm    *sim.WarmState
+	limiter *limiter // nil: no per-client rate limiting
+	ladder  *ladder
+	admit   chan *pending
+	exec    chan *batch
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	// Transport state: the drain gate and the in-flight HTTP request
+	// tracker (see http.go). httpInflight mirrors the WaitGroup as an
+	// observable count.
+	draining     atomic.Bool
+	inflight     sync.WaitGroup
+	httpInflight atomic.Int64
+
+	// Admission counters and the shed Retry-After estimator.
+	shed        atomic.Int64
+	rateLimited atomic.Int64
+	ewmaLatency atomic.Int64 // nanoseconds; exponential moving average
+
+	// Execution counters: requests served per fidelity tier.
+	served [3]atomic.Int64
 
 	mu       sync.Mutex
 	requests int64
@@ -179,17 +291,20 @@ type Server struct {
 // meaningful, small enough that a daemon's memory stays flat.
 const latencyWindow = 4096
 
-// New starts a server and its goroutines; callers must Close it. It
-// fails only when a requested plan-cache directory cannot be opened —
-// a server without persistence never errors.
+// New validates the options, then starts a server and its goroutines;
+// callers must Close it. It fails on invalid options or when a
+// requested plan-cache directory cannot be opened.
 func New(opt Options) (*Server, error) {
-	if opt.Workers <= 0 {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Workers == 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
-	if opt.MaxBatch <= 0 {
+	if opt.MaxBatch == 0 {
 		opt.MaxBatch = 64
 	}
-	if opt.Queue <= 0 {
+	if opt.Queue == 0 {
 		opt.Queue = 256
 	}
 	cache := NewCache()
@@ -204,10 +319,14 @@ func New(opt Options) (*Server, error) {
 		opt:     opt,
 		cache:   cache,
 		warm:    sim.NewWarmState(),
+		ladder:  newLadder(opt.TargetP95),
 		admit:   make(chan *pending, opt.Queue),
 		exec:    make(chan *batch, opt.Queue),
 		stop:    make(chan struct{}),
 		started: time.Now(),
+	}
+	if opt.RatePerClient > 0 {
+		s.limiter = newLimiter(opt.RatePerClient, opt.Burst)
 	}
 	s.wg.Add(1 + opt.Workers)
 	go s.former()
@@ -222,79 +341,6 @@ func New(opt Options) (*Server, error) {
 func (s *Server) Close() {
 	s.once.Do(func() { close(s.stop) })
 	s.wg.Wait()
-}
-
-// former is the admission loop: it blocks for the first pending
-// request, drains whatever else is already queued (up to MaxBatch),
-// groups the round by plan key in arrival order, and hands the batches
-// to the executor pool.
-func (s *Server) former() {
-	defer s.wg.Done()
-	defer close(s.exec)
-	for {
-		var first *pending
-		select {
-		case first = <-s.admit:
-		case <-s.stop:
-			return
-		}
-		round := []*pending{first}
-	drain:
-		for len(round) < s.opt.MaxBatch {
-			select {
-			case p := <-s.admit:
-				round = append(round, p)
-			default:
-				break drain
-			}
-		}
-		byKey := make(map[Key]*batch)
-		var order []*batch
-		for _, p := range round {
-			b := byKey[p.key]
-			if b == nil {
-				b = &batch{key: p.key}
-				byKey[p.key] = b
-				order = append(order, b)
-			}
-			b.reqs = append(b.reqs, p)
-		}
-		for _, b := range order {
-			select {
-			case s.exec <- b:
-			case <-s.stop:
-				return
-			}
-		}
-	}
-}
-
-// executor runs batches: one cache lookup (compiling at most once per
-// key across the fleet), then the batch's requests back to back so the
-// plan and the warm scratch stay hot.
-func (s *Server) executor() {
-	defer s.wg.Done()
-	for b := range s.exec {
-		s.mu.Lock()
-		s.batches++
-		s.batched += int64(len(b.reqs))
-		s.mu.Unlock()
-		plan, hit, err := s.cache.Plan(b.key, func() (*core.Plan, error) {
-			net, err := model.ByName(b.key.Network, ZooSeed)
-			if err != nil {
-				return nil, err
-			}
-			return s.pipelineFor(b.reqs[0].req).Compile(net), nil
-		})
-		for _, p := range b.reqs {
-			if err != nil {
-				p.reply <- answer{err: err}
-				continue
-			}
-			rep := s.pipelineFor(p.req).Execute(plan)
-			p.reply <- answer{resp: Response{Report: rep, PlanCached: hit}}
-		}
-	}
 }
 
 // pipelineFor configures a core pipeline from a normalized request.
@@ -312,84 +358,6 @@ func (s *Server) pipelineFor(r Request) *core.Pipeline {
 	return p
 }
 
-// Submit admits one request and blocks until its answer, ctx
-// cancellation, or server close. The returned Report equals what a
-// cold one-shot run of the same request computes; only the latency
-// depends on load.
-func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
-	nr, key, err := req.normalize()
-	if err != nil {
-		return Response{}, err
-	}
-	p := &pending{req: nr, key: key, reply: make(chan answer, 1), enq: time.Now()}
-	select {
-	case s.admit <- p:
-	case <-s.stop:
-		return Response{}, ErrClosed
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
-	}
-	finish := func(a answer) (Response, error) {
-		if a.err != nil {
-			return Response{}, a.err
-		}
-		a.resp.Latency = time.Since(p.enq)
-		s.mu.Lock()
-		s.requests++
-		if len(s.latencies) < latencyWindow {
-			s.latencies = append(s.latencies, a.resp.Latency)
-		} else {
-			s.latencies[s.latHead] = a.resp.Latency
-			s.latHead = (s.latHead + 1) % latencyWindow
-		}
-		s.mu.Unlock()
-		return a.resp, nil
-	}
-	select {
-	case a := <-p.reply:
-		return finish(a)
-	case <-s.stop:
-		// The answer may have raced the close; prefer it.
-		select {
-		case a := <-p.reply:
-			return finish(a)
-		default:
-		}
-		return Response{}, ErrClosed
-	case <-ctx.Done():
-		select {
-		case a := <-p.reply:
-			return finish(a)
-		default:
-		}
-		return Response{}, ctx.Err()
-	}
-}
-
-// ServeList submits every request concurrently and returns the
-// responses in request-list order — the deterministic merge the
-// aggregate report renders from. The first error (in list order)
-// is returned, if any.
-func (s *Server) ServeList(ctx context.Context, reqs []Request) ([]Response, error) {
-	resps := make([]Response, len(reqs))
-	errs := make([]error, len(reqs))
-	var wg sync.WaitGroup
-	for i := range reqs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			resps[i], errs[i] = s.Submit(ctx, reqs[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return resps, nil
-}
-
 // Stats are the server's cumulative counters.
 type Stats struct {
 	// Requests counts answered requests.
@@ -404,6 +372,16 @@ type Stats struct {
 	// Batches counts batches formed; MeanBatch is requests per batch.
 	Batches   int64
 	MeanBatch float64
+	// Shed counts requests refused because the admission queue was
+	// full; RateLimited counts requests refused by the per-client
+	// limiter. Both are answered with *OverloadError (HTTP 429).
+	Shed        int64
+	RateLimited int64
+	// ServedAnalytic/ServedPacked/ServedSpatial count answered
+	// requests per fidelity tier actually served — under the
+	// degradation ladder one deployment point spreads across tiers
+	// without recompiling.
+	ServedAnalytic, ServedPacked, ServedSpatial int64
 }
 
 // Stats snapshots the counters.
@@ -411,11 +389,16 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Requests: s.requests,
-		Compiles: s.cache.Compiles(),
-		PlanHits: s.cache.Hits(),
-		DiskHits: s.cache.DiskHits(),
-		Batches:  s.batches,
+		Requests:       s.requests,
+		Compiles:       s.cache.Compiles(),
+		PlanHits:       s.cache.Hits(),
+		DiskHits:       s.cache.DiskHits(),
+		Batches:        s.batches,
+		Shed:           s.shed.Load(),
+		RateLimited:    s.rateLimited.Load(),
+		ServedAnalytic: s.served[sim.AnalyticToggles].Load(),
+		ServedPacked:   s.served[sim.PackedToggles].Load(),
+		ServedSpatial:  s.served[sim.SpatialPDN].Load(),
 	}
 	if s.batches > 0 {
 		st.MeanBatch = float64(s.batched) / float64(s.batches)
@@ -423,10 +406,11 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Metrics summarizes served traffic: wall-clock rate and latency
-// percentiles. Unlike the per-request Reports these depend on load and
-// scheduling, so they are reported beside — never inside — the
-// deterministic aggregate (see Render).
+// Metrics summarizes served traffic: wall-clock rate, latency
+// percentiles, shed rate and the ladder position. Unlike the
+// per-request Reports these depend on load and scheduling, so they are
+// reported beside — never inside — the deterministic aggregate (see
+// Render).
 type Metrics struct {
 	Stats
 	// Wall is the time since the server started.
@@ -436,6 +420,13 @@ type Metrics struct {
 	// P50/P95/P99 are admission-to-answer latency percentiles over
 	// the most recent window of answers (bounded; see latencyWindow).
 	P50, P95, P99 time.Duration
+	// ShedRate is the fraction of arrivals refused at admission:
+	// (Shed + RateLimited) / (Requests + Shed + RateLimited).
+	ShedRate float64
+	// LadderTier is the degradation ladder's current tier;
+	// LadderDowns/LadderUps count its steps so far.
+	LadderTier             string
+	LadderDowns, LadderUps int64
 }
 
 // Metrics snapshots the timing view.
@@ -455,6 +446,12 @@ func (s *Server) Metrics() Metrics {
 		m.P95 = percentile(lat, 0.95)
 		m.P99 = percentile(lat, 0.99)
 	}
+	if refused := st.Shed + st.RateLimited; refused > 0 {
+		m.ShedRate = float64(refused) / float64(st.Requests+refused)
+	}
+	tier, downs, ups := s.ladder.snapshot()
+	m.LadderTier = tier.String()
+	m.LadderDowns, m.LadderUps = downs, ups
 	return m
 }
 

@@ -2,6 +2,7 @@ package aim
 
 import (
 	"context"
+	"net/http"
 	"time"
 
 	"aim/internal/serve"
@@ -20,6 +21,14 @@ import (
 // former groups them by plan; batches execute over a bounded worker
 // pool reusing warm simulator state. Results are identical to a cold
 // Run of the same Config — determinism holds for any worker count.
+//
+// The runtime is a four-layer stack: Handler is the HTTP transport,
+// admission applies per-client rate limits and sheds load once the
+// queue is full (ServerStats.Shed/RateLimited count the refusals),
+// scheduling forms plan-keyed batches and runs the SLO degradation
+// ladder (ServerOptions.TargetP95), and execution reuses warm
+// simulator state. In-process Submit enters at admission, skipping
+// the transport layer.
 type Server struct {
 	inner *serve.Server
 }
@@ -45,16 +54,39 @@ type ServerOptions struct {
 	// recompile; results are identical either way. Empty keeps the
 	// cache in-process only.
 	PlanCacheDir string
+	// RatePerClient, when positive, admits at most that many requests
+	// per second per client (token bucket, RateBurst deep) before the
+	// server answers 429 + Retry-After over HTTP. Clients are named by
+	// the X-AIM-Client header, the request body's client field, or the
+	// remote address. Zero disables rate limiting; in-process Submit
+	// carries no client identity and is never limited.
+	RatePerClient float64
+	// RateBurst is the token-bucket depth (default: one second of
+	// RatePerClient, at least 1). Setting it without RatePerClient is
+	// an error.
+	RateBurst int
+	// TargetP95 arms the SLO degradation ladder: when the p95 of
+	// recent request latencies exceeds it, requests submitted with
+	// auto fidelity step down a tier (spatial → packed → analytic),
+	// and step back up once p95 falls under half the target. The
+	// ladder changes only which tier serves — each tier's results stay
+	// bit-identical, and tier switches reuse the already-compiled
+	// plan. Zero disables the ladder (auto requests always get
+	// spatial).
+	TargetP95 time.Duration
 }
 
 // NewServer starts a serving runtime; callers must Close it. It fails
 // only when PlanCacheDir is set but cannot be opened.
 func NewServer(opt ServerOptions) (*Server, error) {
 	inner, err := serve.New(serve.Options{
-		Workers:      opt.Workers,
-		MaxBatch:     opt.MaxBatch,
-		Queue:        opt.Queue,
-		PlanCacheDir: opt.PlanCacheDir,
+		Workers:       opt.Workers,
+		MaxBatch:      opt.MaxBatch,
+		Queue:         opt.Queue,
+		PlanCacheDir:  opt.PlanCacheDir,
+		RatePerClient: opt.RatePerClient,
+		Burst:         opt.RateBurst,
+		TargetP95:     opt.TargetP95,
 	})
 	if err != nil {
 		return nil, err
@@ -65,6 +97,19 @@ func NewServer(opt ServerOptions) (*Server, error) {
 // Close drains in-flight batches and stops the server. Idempotent;
 // requests still queued are answered with an error.
 func (s *Server) Close() { s.inner.Close() }
+
+// Handler returns the HTTP front door: POST /v1/submit (JSON in, JSON
+// out), GET /v1/metrics, GET /v1/healthz. Overload answers are 429
+// with a Retry-After header; a draining server answers 503. Mount it
+// on any http.Server — `aimserve serve` is a thin wrapper around
+// exactly this.
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Drain gates the HTTP front door (new requests get 503 +
+// Retry-After, healthz flips to 503 so load balancers stop routing)
+// and blocks until in-flight HTTP requests finish. In-process Submit
+// keeps working; the graceful shutdown order is Drain, then Close.
+func (s *Server) Drain() { s.inner.Drain() }
 
 // request converts a public Config into the serving runtime's request.
 func request(cfg Config) (serve.Request, error) {
@@ -138,6 +183,14 @@ type ServerStats struct {
 	// batch.
 	Batches   int64
 	MeanBatch float64
+	// Shed counts requests refused because the admission queue was
+	// full; RateLimited counts requests refused by the per-client rate
+	// limiter. Neither is included in Requests.
+	Shed, RateLimited int64
+	// ServedAnalytic/ServedPacked/ServedSpatial count answered
+	// requests by the fidelity tier that executed them — under the
+	// degradation ladder the mix shifts with load.
+	ServedAnalytic, ServedPacked, ServedSpatial int64
 }
 
 // Stats snapshots the counters.
@@ -146,6 +199,9 @@ func (s *Server) Stats() ServerStats {
 	return ServerStats{
 		Requests: st.Requests, Compiles: st.Compiles, PlanHits: st.PlanHits,
 		DiskHits: st.DiskHits, Batches: st.Batches, MeanBatch: st.MeanBatch,
+		Shed: st.Shed, RateLimited: st.RateLimited,
+		ServedAnalytic: st.ServedAnalytic, ServedPacked: st.ServedPacked,
+		ServedSpatial: st.ServedSpatial,
 	}
 }
 
@@ -160,6 +216,14 @@ type ServerMetrics struct {
 	ReqPerSec float64
 	// P50/P95/P99 are admission-to-answer latency percentiles.
 	P50, P95, P99 time.Duration
+	// ShedRate is refused requests (shed + rate-limited) over all
+	// admission attempts — the fraction of offered load turned away.
+	ShedRate float64
+	// LadderTier is the degradation ladder's current tier ("spatial",
+	// "packed" or "analytic"); LadderDowns/LadderUps count its steps.
+	LadderTier  string
+	LadderDowns int64
+	LadderUps   int64
 }
 
 // Metrics snapshots the timing view.
@@ -169,9 +233,14 @@ func (s *Server) Metrics() ServerMetrics {
 		ServerStats: ServerStats{
 			Requests: m.Requests, Compiles: m.Compiles, PlanHits: m.PlanHits,
 			DiskHits: m.DiskHits, Batches: m.Batches, MeanBatch: m.MeanBatch,
+			Shed: m.Shed, RateLimited: m.RateLimited,
+			ServedAnalytic: m.ServedAnalytic, ServedPacked: m.ServedPacked,
+			ServedSpatial: m.ServedSpatial,
 		},
 		Wall: m.Wall, ReqPerSec: m.ReqPerSec,
 		P50: m.P50, P95: m.P95, P99: m.P99,
+		ShedRate: m.ShedRate, LadderTier: m.LadderTier,
+		LadderDowns: m.LadderDowns, LadderUps: m.LadderUps,
 	}
 }
 
