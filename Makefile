@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke bench bench-rtog bench-pdn bench-serve bench-spatial bench-planstore bench-http docs-check lint ci
+.PHONY: all build vet fmt-check test race fuzz-smoke bench bench-rtog bench-pdn bench-serve bench-spatial bench-planstore bench-http check docs-check lint ci
 
 all: build
 
@@ -25,13 +25,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Fuzz smoke: a few seconds per native fuzz target on the two hostile
-# input boundaries — the HTTP submit decoder and the scenario-mix
-# parser. PRs 2–6 each fixed a panic at an input boundary; this keeps
-# the corpus growing without paying a long fuzz campaign in CI.
+# Fuzz smoke: a few seconds per native fuzz target on the three
+# hostile input boundaries — the HTTP submit decoder, the scenario-mix
+# parser, and the plan-store container decoder (whose bytes arrive
+# from disk, where anything can have happened to them). PRs 2–6 each
+# fixed a panic at an input boundary; this keeps the corpus growing
+# without paying a long fuzz campaign in CI.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzSubmitDecode' -fuzztime 10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz 'FuzzParseMix' -fuzztime 10s ./cmd/aimserve
+	$(GO) test -run '^$$' -fuzz 'FuzzPlanDecode' -fuzztime 10s ./internal/planstore
 
 # Bench smoke: one iteration of the Fig. 3 regeneration proves the
 # benchmark harness wires up without paying full benchmark time.
@@ -47,10 +50,11 @@ define bench_json
 awk 'BEGIN { n = 0 } \
      /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
        if (!(name in best) || $$3+0 < best[name]) { best[name]=$$3+0; ns[name]=$$3; iters[name]=$$2 } \
+       passes[name]++; \
        if (!(name in seen)) { seen[name]=1; order[++n]=name } } \
      END { printf "{\n  \"benchmarks\": ["; \
        for (i=1;i<=n;i++) { nm=order[i]; if (i>1) printf ","; \
-         printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", nm, iters[nm], ns[nm] } \
+         printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"passes\": %d}", nm, iters[nm], ns[nm], passes[nm] } \
        printf "\n  ]\n}\n" }'
 endef
 
@@ -145,6 +149,13 @@ bench-http:
 	$(GO) run ./cmd/aimserve bench-http -o BENCH_http.json
 	@cat BENCH_http.json
 
+# Integrity gate: aimcheck over the pin manifest, a freshly-populated
+# plan-cache directory and every committed BENCH_*.json must verify
+# (exit 0) — then one deliberate corruption per artifact class, each
+# of which must flip the exit code to 1. See scripts/check_smoke.sh.
+check:
+	@./scripts/check_smoke.sh
+
 # Docs gate: every internal package (and command) must carry a package
 # doc comment, and every relative link in ARCHITECTURE.md and README.md
 # must resolve to a real file.
@@ -153,4 +164,4 @@ docs-check:
 
 lint: vet fmt-check docs-check
 
-ci: build lint race bench
+ci: build lint race bench check

@@ -22,7 +22,6 @@ import (
 	"os"
 
 	"aim/internal/pdn"
-	"aim/internal/xrand"
 )
 
 func main() {
@@ -63,31 +62,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *scale > 1 {
 		fp = pdn.ScaledFloorplan(*scale)
 	}
-	act := pdn.DefaultActivity()
-	rng := xrand.NewNamed(*seed, "irmap")
-	render := func(label string, base float64, scaleHi float64) float64 {
-		rt := make([]float64, len(fp.GroupTiles))
-		for i := range rt {
-			rt[i] = 0.95 * (base + 0.04*rng.Float64())
-			if rt[i] > 1 {
-				rt[i] = 1
-			}
-		}
-		drop, worst := fp.SolveActivity(act, rt)
-		fmt.Fprintf(stdout, "--- %s: worst macro drop %.1f mV ---\n", label, worst*1000)
-		if *csv {
-			fmt.Fprint(stdout, pdn.RenderCSV(drop, fp.Grid.W))
-		} else {
-			hi := scaleHi
-			if hi == 0 {
-				hi = worst
-			}
-			fmt.Fprint(stdout, pdn.RenderASCII(drop, fp.Grid.W, 0, hi))
-		}
-		return worst
-	}
-	worstBefore := render("before AIM", *baseAct, 0)
-	worstAfter := render("after AIM", *optAct, worstBefore)
-	fmt.Fprintf(stdout, "mitigation: %.1f%%\n", 100*(1-worstAfter/worstBefore))
+	pdn.RenderIRMap(stdout, fp, *baseAct, *optAct, *seed, *csv)
 	return 0
 }

@@ -1,11 +1,10 @@
 package main
 
 import (
-	"crypto/sha256"
-	"fmt"
 	"strings"
 	"testing"
 
+	"aim/internal/check"
 	"aim/internal/pdn"
 )
 
@@ -97,17 +96,28 @@ func TestASCIIMitigationPositive(t *testing.T) {
 }
 
 // TestDefaultOutputBytesPinned pins irmap's default-flag output —
-// ASCII and CSV — byte for byte against the pre-multigrid solver.
-// The default scale must keep solving through the Gauss-Seidel
-// reference precisely so these bytes never move.
+// ASCII and CSV — byte for byte against the manifest (the single
+// source of truth for pins; no sha256 literals live in test code).
+// The pins predate the multigrid solver: the default scale must keep
+// solving through the Gauss-Seidel reference precisely so these bytes
+// never move.
 func TestDefaultOutputBytesPinned(t *testing.T) {
+	m, err := check.LoadManifest("../../manifest/experiments.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default -seed is what the pins were rendered at; if the
+	// manifest moves to another seed the defaults must move with it.
+	if m.Seed != 2025 {
+		t.Fatalf("manifest seed = %d, but irmap defaults to -seed 2025", m.Seed)
+	}
 	_, ascii, _ := runCapture(t)
-	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(ascii))); got != "4f46eb73fe686ec26d950e2f314eb56eed47c926298c496d3027fa8c634ceaa1" {
-		t.Errorf("default ASCII output drifted: sha256 %s", got)
+	if got := check.SHA256([]byte(ascii)); got != m.IRMap["ascii"] {
+		t.Errorf("default ASCII output drifted: sha256 %s, pinned %s", got, m.IRMap["ascii"])
 	}
 	_, csv, _ := runCapture(t, "-csv")
-	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(csv))); got != "5c2ec9e000fbb8674d86b56683950f63fecbe72a874ee017a82fc149a871c67e" {
-		t.Errorf("default CSV output drifted: sha256 %s", got)
+	if got := check.SHA256([]byte(csv)); got != m.IRMap["csv"] {
+		t.Errorf("default CSV output drifted: sha256 %s, pinned %s", got, m.IRMap["csv"])
 	}
 }
 

@@ -131,4 +131,21 @@
 // ladder trades fidelity for latency with exactly one compile (see
 // BENCH_http.json from `make bench-http`, and `aimserve serve` /
 // `aimserve -target` for hosting and driving the API).
+//
+// The system verifies its own artifacts. cmd/aimcheck (engine:
+// internal/check) re-derives the sha256 pins in
+// manifest/experiments.json — the single machine-readable source of
+// truth for the 22 experiment tables and the irmap renderings, loaded
+// by the byte-pin tests instead of scattered hash literals and
+// regenerated only by `aimcheck -write` — walks plan-store
+// directories (content address, versions, decode → re-encode
+// byte-identity, orphaned temp files), and validates BENCH_*.json
+// shape, exiting non-zero on any finding; CI runs it plus a
+// deliberate-corruption smoke as `make check`. On the fault side,
+// planstore.NewFaulty wraps any backend with a deterministic
+// misbehavior schedule (bit flips, truncations, stale rewrites, write
+// failures, latency) under which the serving stack provably keeps
+// answering byte-identically with exact Stats accounting, and the
+// container decoder is natively fuzzed: bytes that decode must
+// re-encode to the same bytes, and no bytes may panic it.
 package aim

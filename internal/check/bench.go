@@ -1,0 +1,156 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// MinBenchPasses is the provenance floor: every benchmark artifact
+// must record at least this many independent passes behind its
+// min-of-N numbers, matching the Makefile's min-of-3 protocol.
+const MinBenchPasses = 3
+
+// benchSeries is the schema the Makefile's bench_json awk emits
+// (BENCH_rtog.json, BENCH_pdn.json, BENCH_planstore.json, ...).
+type benchSeries struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		Iters   int64   `json:"iterations"`
+		NsPerOp float64 `json:"ns_per_op"`
+		Passes  int     `json:"passes"`
+	} `json:"benchmarks"`
+}
+
+// benchHTTP is the schema cmd/aimserve -bench emits (BENCH_http.json).
+type benchHTTP struct {
+	Bench   string         `json:"bench"`
+	Runs    int            `json:"runs"`
+	Workers int            `json:"workers"`
+	Steady  benchHTTPPhase `json:"steady"`
+	Burst   benchHTTPPhase `json:"burst"`
+}
+
+type benchHTTPPhase struct {
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// Bench validates one BENCH_*.json artifact: a recognized schema,
+// required fields present, min-of-3 provenance recorded, and every
+// number finite and positive. It exists so CI catches a broken bench
+// emitter the moment it produces garbage, before the artifact
+// pollutes the perf trajectory.
+func Bench(path string) []Finding {
+	name := filepath.Base(path)
+	fail := func(format string, args ...any) []Finding {
+		return []Finding{{Area: "bench", Path: name, Problem: fmt.Sprintf(format, args...)}}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail("unreadable: %v", err)
+	}
+	var sniff map[string]json.RawMessage
+	if err := json.Unmarshal(data, &sniff); err != nil {
+		return fail("malformed JSON: %v", err)
+	}
+	switch {
+	case sniff["benchmarks"] != nil:
+		return benchSeriesFindings(name, data)
+	case sniff["bench"] != nil:
+		return benchHTTPFindings(name, data)
+	default:
+		return fail("unrecognized schema: neither a benchmark series nor an http bench document")
+	}
+}
+
+func benchSeriesFindings(name string, data []byte) []Finding {
+	var fs []Finding
+	add := func(path, format string, args ...any) {
+		fs = append(fs, Finding{Area: "bench", Path: path, Problem: fmt.Sprintf(format, args...)})
+	}
+	var doc benchSeries
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []Finding{{Area: "bench", Path: name, Problem: fmt.Sprintf("malformed series document: %v", err)}}
+	}
+	if len(doc.Benchmarks) == 0 {
+		add(name, "empty benchmark series")
+	}
+	seen := map[string]bool{}
+	for i, b := range doc.Benchmarks {
+		at := fmt.Sprintf("%s#%d", name, i)
+		if b.Name != "" {
+			at = name + "#" + b.Name
+		}
+		if !strings.HasPrefix(b.Name, "Benchmark") {
+			add(at, "name %q does not start with Benchmark", b.Name)
+		}
+		if seen[b.Name] {
+			add(at, "duplicate benchmark name")
+		}
+		seen[b.Name] = true
+		if b.Iters < 1 {
+			add(at, "iterations %d, want >= 1", b.Iters)
+		}
+		if !(b.NsPerOp > 0) || math.IsInf(b.NsPerOp, 0) {
+			add(at, "ns_per_op %v is not finite and positive", b.NsPerOp)
+		}
+		if b.Passes < MinBenchPasses {
+			add(at, "passes %d, want >= %d (min-of-%d provenance)", b.Passes, MinBenchPasses, MinBenchPasses)
+		}
+	}
+	return fs
+}
+
+func benchHTTPFindings(name string, data []byte) []Finding {
+	var fs []Finding
+	add := func(path, format string, args ...any) {
+		fs = append(fs, Finding{Area: "bench", Path: path, Problem: fmt.Sprintf(format, args...)})
+	}
+	var doc benchHTTP
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []Finding{{Area: "bench", Path: name, Problem: fmt.Sprintf("malformed http bench document: %v", err)}}
+	}
+	if doc.Bench != "http" {
+		add(name, "bench = %q, want \"http\"", doc.Bench)
+	}
+	if doc.Runs < MinBenchPasses {
+		add(name, "runs %d, want >= %d (min-of-%d provenance)", doc.Runs, MinBenchPasses, MinBenchPasses)
+	}
+	if doc.Workers < 1 {
+		add(name, "workers %d, want >= 1", doc.Workers)
+	}
+	for phase, p := range map[string]benchHTTPPhase{"steady": doc.Steady, "burst": doc.Burst} {
+		at := name + "." + phase
+		if p.Requests < 1 {
+			add(at, "requests %d, want >= 1", p.Requests)
+			continue
+		}
+		if p.OK < 0 || p.Shed < 0 || p.OK+p.Shed != p.Requests {
+			add(at, "ok %d + shed %d != requests %d", p.OK, p.Shed, p.Requests)
+		}
+		if p.ShedRate < 0 || p.ShedRate > 1 {
+			add(at, "shed_rate %v outside [0,1]", p.ShedRate)
+		}
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"p50_ms", p.P50MS}, {"p95_ms", p.P95MS}, {"p99_ms", p.P99MS}} {
+			if !(q.v > 0) || math.IsInf(q.v, 0) {
+				add(at, "%s %v is not finite and positive", q.label, q.v)
+			}
+		}
+		if p.P50MS > p.P95MS || p.P95MS > p.P99MS {
+			add(at, "percentiles not ordered: p50 %v, p95 %v, p99 %v", p.P50MS, p.P95MS, p.P99MS)
+		}
+	}
+	return fs
+}

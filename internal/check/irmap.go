@@ -1,0 +1,53 @@
+package check
+
+import (
+	"strings"
+
+	"aim/internal/pdn"
+)
+
+// Default irmap activities — the command's default flag values, which
+// are what the pinned outputs were rendered with.
+const (
+	irmapBaseActivity = 0.50
+	irmapOptActivity  = 0.26
+)
+
+// IRMapHashes renders the irmap command's default-flag outputs (ASCII
+// and CSV, default floorplan) at seed through the shared rendering
+// core and returns their pin hashes by kind. Both the verifier and
+// the manifest writer derive pins here, so they can never disagree on
+// what "the default output" means.
+func IRMapHashes(seed int64) map[string]string {
+	fp := pdn.DefaultFloorplan()
+	out := make(map[string]string, 2)
+	for _, kind := range []string{"ascii", "csv"} {
+		var sb strings.Builder
+		pdn.RenderIRMap(&sb, fp, irmapBaseActivity, irmapOptActivity, seed, kind == "csv")
+		out[kind] = SHA256([]byte(sb.String()))
+	}
+	return out
+}
+
+// IRMap recomputes the irmap pins at the manifest seed and compares
+// them against the manifest. Unlike the experiment tables this
+// recompute is sub-second, so the checker always runs it — a tampered
+// irmap pin can never pass.
+func IRMap(m *Manifest) []Finding {
+	var fs []Finding
+	got := IRMapHashes(m.Seed)
+	for _, kind := range []string{"ascii", "csv"} {
+		pin, ok := m.IRMap[kind]
+		if !ok {
+			continue // already a manifest finding
+		}
+		if got[kind] != pin {
+			fs = append(fs, Finding{
+				Area:    "irmap",
+				Path:    "irmap." + kind,
+				Problem: "recomputed sha256 " + got[kind] + " does not match pin " + pin,
+			})
+		}
+	}
+	return fs
+}

@@ -1,0 +1,113 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ManifestSchemaVersion is the manifest layout version; bump it when
+// the JSON shape changes.
+const ManifestSchemaVersion = 1
+
+// Manifest is the machine-readable pin file (manifest/experiments.json):
+// the single source of truth for every sha256-pinned artifact. The
+// experiment tests, the irmap tests and the checker all load their
+// expected hashes from here, so a pin moves in exactly one place — a
+// reviewed manifest diff — never in a scattered string literal.
+type Manifest struct {
+	// SchemaVersion is ManifestSchemaVersion at write time.
+	SchemaVersion int `json:"schema_version"`
+	// Seed is the seed every pinned experiment table and irmap output
+	// was rendered at.
+	Seed int64 `json:"seed"`
+	// Experiments maps experiment id → sha256 of Table.Render() at
+	// Seed, for every id in the registry.
+	Experiments map[string]string `json:"experiments"`
+	// IRMap maps output kind ("ascii", "csv") → sha256 of the irmap
+	// command's default-flag output at Seed.
+	IRMap map[string]string `json:"irmap"`
+}
+
+// LoadManifest reads and parses the pin manifest. A parse failure is
+// an error (there is nothing to verify against), but structural
+// defects are reported by Findings, not here.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("check: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("check: parse manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Findings validates the manifest's own structure: schema version,
+// seed, and the shape of every pin (64 lowercase hex characters). It
+// cannot tell a tampered pin from a legitimate one — that takes
+// recomputation (IRMap, or aimcheck -experiments) — but it catches a
+// manifest that could not have been written by the generator.
+func (m *Manifest) Findings() []Finding {
+	var fs []Finding
+	add := func(path, format string, args ...any) {
+		fs = append(fs, Finding{Area: "manifest", Path: path, Problem: fmt.Sprintf(format, args...)})
+	}
+	if m.SchemaVersion != ManifestSchemaVersion {
+		add("schema_version", "got %d, want %d", m.SchemaVersion, ManifestSchemaVersion)
+	}
+	if m.Seed <= 0 {
+		add("seed", "non-positive seed %d", m.Seed)
+	}
+	if len(m.Experiments) == 0 {
+		add("experiments", "no experiment pins")
+	}
+	for _, kind := range []string{"ascii", "csv"} {
+		if _, ok := m.IRMap[kind]; !ok {
+			add("irmap."+kind, "missing pin")
+		}
+	}
+	check := func(section string, pins map[string]string) {
+		ids := make([]string, 0, len(pins))
+		for id := range pins {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if !validPin(pins[id]) {
+				add(section+"."+id, "pin %q is not 64 lowercase hex characters", pins[id])
+			}
+		}
+	}
+	check("experiments", m.Experiments)
+	check("irmap", m.IRMap)
+	return fs
+}
+
+// validPin reports whether s has the shape SHA256 produces.
+func validPin(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode renders the manifest in its canonical on-disk form:
+// two-space-indented JSON with sorted keys (encoding/json sorts map
+// keys) and a trailing newline, so regeneration of unchanged pins is
+// byte-stable.
+func (m *Manifest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,12 +1,12 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"fmt"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
+	"aim/internal/check"
 	"aim/internal/irdrop"
 )
 
@@ -435,18 +435,48 @@ func TestOverheadBounds(t *testing.T) {
 	}
 }
 
-// TestFig16TableBytesPinned pins the rendered Fig. 16 table at the
-// default seed, byte for byte. The PDN solver refactor (stencil
-// kernel, multigrid subsystem) must never move this table: the default
-// floorplan solves through the retained Gauss-Seidel reference, whose
-// iterates are bit-identical to the historical loop. If this fails,
-// either the reference solver's float ops changed or the default
-// floorplan picked up a different solver — both are regressions.
-func TestFig16TableBytesPinned(t *testing.T) {
-	const want = "52441799c514be3eea3347c8621df3e433a0ac2e4d8ff6341eaef4fd81ec841f"
-	got := fmt.Sprintf("%x", sha256.Sum256([]byte(Fig16(2025).Render())))
-	if got != want {
-		t.Errorf("Fig16 table bytes drifted: sha256 %s, pinned %s", got, want)
+// TestTableBytesPinnedByManifest pins every rendered table at the
+// reference seed, byte for byte, against manifest/experiments.json —
+// the single source of truth for pins (no sha256 literals live in
+// test code). The check is bidirectional: every registry experiment
+// must have a pin and every pin must name a registry experiment, so
+// adding an experiment without regenerating the manifest (`aimcheck
+// -write`) fails here, not in CI archaeology. If a hash mismatches,
+// either an experiment's math changed (regenerate the manifest and
+// review the diff) or a refactor silently moved bytes it promised not
+// to — notably fig16, whose default floorplan must keep solving
+// through the bit-stable Gauss-Seidel reference across PDN solver
+// refactors.
+func TestTableBytesPinnedByManifest(t *testing.T) {
+	m, err := check.LoadManifest("../../manifest/experiments.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := m.Findings(); len(fs) != 0 {
+		t.Fatalf("manifest is not structurally valid: %v", fs)
+	}
+	if m.Seed != seed {
+		t.Fatalf("manifest seed = %d, want the reference seed %d", m.Seed, seed)
+	}
+	ids := IDs()
+	for id := range m.Experiments {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("manifest pins unknown experiment %q", id)
+		}
+	}
+	tables, err := RunSet(context.Background(), ids, m.Seed, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		pin, ok := m.Experiments[tb.ID]
+		if !ok {
+			t.Errorf("%s: no pin in manifest (run `go run ./cmd/aimcheck -write`)", tb.ID)
+			continue
+		}
+		if got := check.SHA256([]byte(tb.Render())); got != pin {
+			t.Errorf("%s table bytes drifted: sha256 %s, pinned %s", tb.ID, got, pin)
+		}
 	}
 }
 

@@ -1,0 +1,45 @@
+package pdn
+
+import (
+	"fmt"
+	"io"
+
+	"aim/internal/xrand"
+)
+
+// RenderIRMap writes the before/after-AIM IR-drop heatmap pair for a
+// floorplan — two banners with the worst macro drop, two maps (ASCII
+// art or CSV millivolts), and the mitigation summary line. It is the
+// rendering core of the irmap command, shared with the integrity
+// checker so the pinned output bytes are re-derivable from one
+// implementation: per-group activities are drawn from the named
+// stream "irmap" of seed, so the same seed reproduces the same maps
+// byte for byte.
+func RenderIRMap(w io.Writer, fp *Floorplan, baseAct, optAct float64, seed int64, csv bool) {
+	act := DefaultActivity()
+	rng := xrand.NewNamed(seed, "irmap")
+	render := func(label string, base float64, scaleHi float64) float64 {
+		rt := make([]float64, len(fp.GroupTiles))
+		for i := range rt {
+			rt[i] = 0.95 * (base + 0.04*rng.Float64())
+			if rt[i] > 1 {
+				rt[i] = 1
+			}
+		}
+		drop, worst := fp.SolveActivity(act, rt)
+		fmt.Fprintf(w, "--- %s: worst macro drop %.1f mV ---\n", label, worst*1000)
+		if csv {
+			fmt.Fprint(w, RenderCSV(drop, fp.Grid.W))
+		} else {
+			hi := scaleHi
+			if hi == 0 {
+				hi = worst
+			}
+			fmt.Fprint(w, RenderASCII(drop, fp.Grid.W, 0, hi))
+		}
+		return worst
+	}
+	worstBefore := render("before AIM", baseAct, 0)
+	worstAfter := render("after AIM", optAct, worstBefore)
+	fmt.Fprintf(w, "mitigation: %.1f%%\n", 100*(1-worstAfter/worstBefore))
+}

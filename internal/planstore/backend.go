@@ -123,6 +123,50 @@ func (d *Dir) Remove(name string) error {
 	return err
 }
 
+// Orphans returns the leftover temp files of writers that died between
+// temp-write and rename, as paths relative to the root. A live writer's
+// temp file is indistinguishable from an orphan, so callers decide when
+// the store is quiescent enough to judge (Open sweeps at startup; the
+// checker reports what it finds).
+func (d *Dir) Orphans() ([]string, error) {
+	var orphans []string
+	err := filepath.WalkDir(d.root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			rel, rerr := filepath.Rel(d.root, path)
+			if rerr != nil {
+				rel = path
+			}
+			orphans = append(orphans, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("planstore: orphans: %w", err)
+	}
+	sort.Strings(orphans)
+	return orphans, nil
+}
+
+// SweepOrphans removes leftover temp files, returning how many were
+// removed. Racing a concurrent writer is benign: the loser's rename
+// fails, which the store already counts as a best-effort save error.
+func (d *Dir) SweepOrphans() (int, error) {
+	orphans, err := d.Orphans()
+	if err != nil {
+		return 0, err
+	}
+	swept := 0
+	for _, rel := range orphans {
+		if err := os.Remove(filepath.Join(d.root, rel)); err == nil {
+			swept++
+		}
+	}
+	return swept, nil
+}
+
 // List implements Backend: every regular file in the fanout tree whose
 // name is not a leftover temp file.
 func (d *Dir) List() ([]string, error) {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"aim/internal/compiler"
 	"aim/internal/core"
@@ -63,6 +65,109 @@ var ErrCorrupt = errors.New("planstore: corrupt plan file")
 // different format or code version. Stores treat it as a miss and
 // recompile; the entry is unreachable under the current hash anyway.
 var ErrStale = errors.New("planstore: plan file from a different version")
+
+// Header is the plan container's envelope: everything an entry states
+// about itself before the payload. The integrity checker reads it to
+// classify entries without paying a full decode — and to re-derive the
+// content-addressed name an entry should be stored under.
+type Header struct {
+	// FormatVersion is the container layout version the entry was
+	// written with.
+	FormatVersion uint32
+	// CodeVersion is the compiler/simulator generation string.
+	CodeVersion string
+	// KeyID is the canonical key serialization (see Key.ID).
+	KeyID string
+	// PayloadLen is the declared payload length in bytes.
+	PayloadLen uint64
+}
+
+// ReadHeader parses just the envelope of a plan file: magic, format
+// version, code version, key id and declared payload length. It
+// validates nothing beyond the envelope's own structure — a stale or
+// even corrupt payload still yields its header, which is exactly what
+// a checker classifying entries needs. Like Decode it never panics on
+// hostile bytes.
+func ReadHeader(data []byte) (Header, error) {
+	r := reader{data: data}
+	if string(r.bytes(len(magic))) != magic {
+		return Header{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	h := Header{}
+	h.FormatVersion = r.u32()
+	h.CodeVersion = r.str()
+	h.KeyID = r.str()
+	h.PayloadLen = r.u64()
+	if r.err != nil {
+		return Header{}, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	return h, nil
+}
+
+// ID returns the canonical serialization of the key — the string the
+// content hash covers and the file header carries.
+func (k Key) ID() string { return k.id() }
+
+// ParseID parses a canonical key id (as returned by Key.ID and stored
+// in every entry's header) back into a Key. It is the checker's
+// inverse of ID: a stored entry names its own key, so a verifier can
+// re-derive the content-addressed name the entry must live under.
+func ParseID(id string) (Key, error) {
+	var k Key
+	rest := id
+	next := func(field string) (string, error) {
+		if !strings.HasPrefix(rest, field+"=") {
+			return "", fmt.Errorf("planstore: key id %q: want %s=", id, field)
+		}
+		rest = rest[len(field)+1:]
+		val := rest
+		if i := strings.IndexByte(rest, '|'); i >= 0 {
+			val, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		return val, nil
+	}
+	net, err := next("net")
+	if err != nil {
+		return Key{}, err
+	}
+	mode, err := next("mode")
+	if err != nil {
+		return Key{}, err
+	}
+	k.Network, k.Mode = net, mode
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"bits", &k.Bits}, {"delta", &k.Delta}} {
+		s, err := next(f.name)
+		if err != nil {
+			return Key{}, err
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return Key{}, fmt.Errorf("planstore: key id %q: bad %s: %v", id, f.name, err)
+		}
+		*f.dst = v
+	}
+	s, err := next("seed")
+	if err != nil {
+		return Key{}, err
+	}
+	seed, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Key{}, fmt.Errorf("planstore: key id %q: bad seed: %v", id, err)
+	}
+	k.Seed = seed
+	if rest != "" {
+		return Key{}, fmt.Errorf("planstore: key id %q: trailing %q", id, rest)
+	}
+	if got := k.id(); got != id {
+		return Key{}, fmt.Errorf("planstore: key id %q is not canonical (re-renders as %q)", id, got)
+	}
+	return k, nil
+}
 
 // Encode serializes a compiled plan into the versioned container.
 func Encode(k Key, p *core.Plan) ([]byte, error) {

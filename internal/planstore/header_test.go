@@ -1,0 +1,67 @@
+package planstore
+
+import (
+	"errors"
+	"testing"
+
+	"aim/internal/vf"
+)
+
+// TestReadHeader: the envelope of a real encoded plan states exactly
+// what the entry holds, and hostile prefixes error instead of
+// panicking.
+func TestReadHeader(t *testing.T) {
+	k := testKey("resnet18", 1)
+	data, err := Encode(k, compileTestPlan(t, "resnet18", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FormatVersion != FormatVersion || h.CodeVersion != CodeVersion || h.KeyID != k.ID() {
+		t.Fatalf("header = %+v, want version %d / %q / key %q", h, FormatVersion, CodeVersion, k.ID())
+	}
+	// The declared payload length must be consistent with the framing:
+	// envelope + payload + trailing sha256 account for every byte.
+	if int(h.PayloadLen) >= len(data) {
+		t.Fatalf("declared payload %d bytes in a %d-byte file", h.PayloadLen, len(data))
+	}
+	if _, err := ReadHeader([]byte("NOTAPLAN")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := ReadHeader(data[:len(magic)+2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated envelope: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestParseID: ParseID is the exact inverse of Key.ID, and rejects
+// anything that does not re-render canonically — a checker must never
+// accept an id that hashes to a different name than the entry claims.
+func TestParseID(t *testing.T) {
+	for _, k := range []Key{
+		testKey("resnet18", 1),
+		{Network: "gpt2", Mode: vf.Sprint.String(), Bits: 4, Delta: 0, Seed: -9},
+	} {
+		got, err := ParseID(k.ID())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", k.ID(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseID(%q) = %+v, want %+v", k.ID(), got, k)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"net=x",
+		"net=x|mode=y|bits=8|delta=16",
+		"net=x|mode=y|bits=eight|delta=16|seed=1",
+		"net=x|mode=y|bits=8|delta=16|seed=1|extra=2",
+		"net=x|mode=y|bits=08|delta=16|seed=1", // parses but not canonical
+	} {
+		if _, err := ParseID(bad); err == nil {
+			t.Fatalf("ParseID(%q) accepted", bad)
+		}
+	}
+}

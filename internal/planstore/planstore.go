@@ -100,12 +100,17 @@ type Store struct {
 }
 
 // Open opens a plan store over a local directory backend with the
-// default memory budget.
+// default memory budget. Leftover temp files from a writer that died
+// between temp-write and rename are swept here — at startup the store
+// is quiescent, so anything matching the temp pattern is an orphan,
+// never a live write. The sweep is best-effort: a failure to remove an
+// orphan must not keep a serving replica from starting.
 func Open(dir string) (*Store, error) {
 	b, err := OpenDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	_, _ = b.SweepOrphans()
 	return New(b, 0), nil
 }
 

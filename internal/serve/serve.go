@@ -188,6 +188,12 @@ type Options struct {
 	// back under half the target, they step back up. Zero disables the
 	// ladder — adaptive requests then always serve the top tier.
 	TargetP95 time.Duration
+	// planStore, when non-nil, backs the plan cache with this exact
+	// store instead of opening PlanCacheDir — the seam the
+	// fault-injection tests use to run the full serving stack over a
+	// misbehaving backend. Unexported on purpose: production callers
+	// configure persistence through PlanCacheDir only.
+	planStore *planstore.Store
 }
 
 // Validate rejects option values that cannot mean anything: negative
@@ -308,7 +314,10 @@ func New(opt Options) (*Server, error) {
 		opt.Queue = 256
 	}
 	cache := NewCache()
-	if opt.PlanCacheDir != "" {
+	switch {
+	case opt.planStore != nil:
+		cache = NewCacheWithStore(opt.planStore)
+	case opt.PlanCacheDir != "":
 		store, err := planstore.Open(opt.PlanCacheDir)
 		if err != nil {
 			return nil, err
