@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke bench bench-rtog bench-pdn bench-serve bench-spatial bench-planstore bench-http check docs-check lint ci
+.PHONY: all build vet fmt-check test race fuzz-smoke bench bench-rtog bench-pdn bench-serve bench-spatial bench-planstore bench-http check docs-check aimlint lint ci
 
 all: build
 
@@ -157,11 +157,19 @@ check:
 	@./scripts/check_smoke.sh
 
 # Docs gate: every internal package (and command) must carry a package
-# doc comment, and every relative link in ARCHITECTURE.md and README.md
-# must resolve to a real file.
+# doc comment, every relative link in ARCHITECTURE.md and README.md
+# must resolve to a real file, CHANGES.md carries exactly one
+# sequential "PR <n>:" line per PR, and ISSUE.md keeps its structural
+# headers.
 docs-check:
 	@./scripts/docs_check.sh
 
-lint: vet fmt-check docs-check
+# Static-analysis gate: aimlint's six determinism/API-discipline rules
+# over the whole module must exit 0, then seeded violations in a temp
+# tree must each flip the exit code to 1. See scripts/lint_smoke.sh.
+aimlint:
+	@./scripts/lint_smoke.sh
+
+lint: vet fmt-check docs-check aimlint
 
 ci: build lint race bench check

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"aim"
@@ -131,10 +132,18 @@ func checkExperiments(m *check.Manifest, parallel int, stderr io.Writer) ([]chec
 			})
 		}
 	}
+	// Pins for unknown experiments surface in sorted id order: the
+	// findings are printed, and map iteration order must never reach
+	// output (aimlint: no-map-range-render).
+	unknown := make([]string, 0, len(m.Experiments))
 	for id := range m.Experiments {
 		if !known[id] {
-			findings = append(findings, check.Finding{Area: "experiments", Path: id, Problem: "pin for unknown experiment"})
+			unknown = append(unknown, id)
 		}
+	}
+	sort.Strings(unknown)
+	for _, id := range unknown {
+		findings = append(findings, check.Finding{Area: "experiments", Path: id, Problem: "pin for unknown experiment"})
 	}
 	fmt.Fprintf(stderr, "experiments: %d tables re-derived\n", len(results))
 	return findings, nil

@@ -1,0 +1,110 @@
+// Command aimlint is the repository's determinism- and API-discipline
+// static analyzer. It walks the package tree and enforces the
+// invariants every test pin relies on — no wall-clock reads in
+// deterministic code, no math/rand outside internal/xrand, no map
+// iteration feeding rendered bytes, no goroutines outside the
+// deterministic pool, no panics reachable from public boundaries, no
+// stdout writes from libraries — printing one "file:line: rule:
+// message" finding per violation and exiting 1 if any survive their
+// //aimlint:allow annotations (a stale or malformed annotation is
+// itself a finding).
+//
+// Usage:
+//
+//	aimlint [-rules r1,r2,...] [./... | DIR ...]
+//	aimlint -list
+//
+// Each argument names a package tree to analyze; a trailing /...
+// is accepted and equivalent to naming the root ("aimlint ./..."
+// analyzes the whole module). With no arguments the current
+// directory's tree is analyzed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"aim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: findings go to stdout, diagnostics
+// to stderr; the return value is the process exit code (0 clean, 1
+// findings or analysis failure, 2 usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aimlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "print the rule set and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-20s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+	var ruleNames []string
+	if *rulesFlag != "" {
+		known := map[string]bool{}
+		for _, r := range lint.Rules() {
+			known[r.Name] = true
+		}
+		for _, n := range strings.Split(*rulesFlag, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !known[n] {
+				fmt.Fprintf(stderr, "aimlint: unknown rule %q (known: %s)\n", n, strings.Join(lint.RuleNames(), ", "))
+				return 2
+			}
+			ruleNames = append(ruleNames, n)
+		}
+		if len(ruleNames) == 0 {
+			fmt.Fprintln(stderr, "aimlint: -rules names no rules")
+			return 2
+		}
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	total := 0
+	pkgs := 0
+	for _, t := range targets {
+		root := strings.TrimSuffix(t, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		res, err := lint.Run(lint.Options{Root: root, Rules: ruleNames})
+		if err != nil {
+			fmt.Fprintf(stderr, "aimlint: %v\n", err)
+			return 1
+		}
+		for _, f := range res.Findings {
+			fmt.Fprintln(stdout, f)
+		}
+		total += len(res.Findings)
+		pkgs += res.Packages
+	}
+	if total > 0 {
+		fmt.Fprintf(stdout, "aimlint: %d finding(s) in %d package(s)\n", total, pkgs)
+		return 1
+	}
+	fmt.Fprintf(stdout, "aimlint: %d package(s) clean\n", pkgs)
+	return 0
+}

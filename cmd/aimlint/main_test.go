@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// corpus points at the analyzer's shared testdata tree so the CLI
+// tests exercise real findings without a second snippet set.
+func corpus(dir string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", "src", dir)
+}
+
+// TestRun drives the CLI through its exit-code contract: 0 clean,
+// 1 findings or analysis failure, 2 usage errors.
+func TestRun(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		exit      int
+		wantOut   string // substring of stdout ("" = don't check)
+		wantErr   string // substring of stderr ("" = don't check)
+		wantOutRE string // regexp stdout must match ("" = don't check)
+		absentOut string // substring stdout must NOT contain
+	}{
+		{
+			name: "list prints every rule and exits 0",
+			args: []string{"-list"}, exit: 0, wantOut: "no-map-range-render",
+		},
+		{
+			name: "unknown flag is a usage error",
+			args: []string{"-definitely-not-a-flag"}, exit: 2,
+		},
+		{
+			name: "unknown rule name is a usage error",
+			args: []string{"-rules", "no-such-rule"}, exit: 2, wantErr: "unknown rule",
+		},
+		{
+			name: "empty rules list is a usage error",
+			args: []string{"-rules", " , "}, exit: 2, wantErr: "names no rules",
+		},
+		{
+			name: "bad snippet exits 1 with file:line: rule: findings",
+			args: []string{corpus("nakedgo")}, exit: 1,
+			wantOutRE: `bad\.go:\d+: no-naked-go: `,
+			wantOut:   "aimlint: 1 finding(s) in 1 package(s)",
+		},
+		{
+			name: "rules filter silences unrelated findings",
+			args: []string{"-rules", "no-wallclock", corpus("nakedgo")}, exit: 0,
+			wantOut: "aimlint: 1 package(s) clean",
+		},
+		{
+			name: "stale allow is a finding",
+			args: []string{corpus("allowstale")}, exit: 1,
+			wantOutRE: `stale\.go:\d+: allow: `,
+		},
+		{
+			name: "multiple targets accumulate findings and packages",
+			args: []string{corpus("nakedgo"), corpus("fmtprint")}, exit: 1,
+			wantOut:   "aimlint: 3 finding(s) in 2 package(s)",
+			wantOutRE: `bad\.go:\d+: no-fmt-print: `,
+		},
+		{
+			name: "trailing /... names the same tree",
+			args: []string{corpus("fmtprint") + "/..."}, exit: 1,
+			wantOut: "aimlint: 2 finding(s) in 1 package(s)",
+		},
+		{
+			name: "good-only package is clean",
+			args: []string{"-rules", "no-global-rand", corpus("wallclock")}, exit: 0,
+			absentOut: "no-wallclock",
+		},
+		{
+			name: "missing target is an analysis failure",
+			args: []string{corpus("no-such-dir")}, exit: 1, wantErr: "aimlint:",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.exit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.exit, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+			if tc.wantOutRE != "" && !regexp.MustCompile(tc.wantOutRE).MatchString(stdout.String()) {
+				t.Errorf("stdout does not match %q:\n%s", tc.wantOutRE, stdout.String())
+			}
+			if tc.absentOut != "" && strings.Contains(stdout.String(), tc.absentOut) {
+				t.Errorf("stdout unexpectedly contains %q:\n%s", tc.absentOut, stdout.String())
+			}
+		})
+	}
+}

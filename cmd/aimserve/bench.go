@@ -173,6 +173,7 @@ func benchOnce(network string, workers, queue int, target time.Duration, steadyR
 		return benchResult{}, err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
+	//aimlint:allow no-naked-go — the HTTP listener's accept loop; net/http owns its concurrency, the pool owns the simulation's
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	url := "http://" + ln.Addr().String()
@@ -217,6 +218,7 @@ func benchNoLadder(workers, queue int, network string, rate, secs float64) (benc
 		return benchPhase{}, err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
+	//aimlint:allow no-naked-go — accept loop for the ladder-off control server, same shape as the laddered one
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	client := &http.Client{Timeout: 2 * time.Minute}

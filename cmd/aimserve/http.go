@@ -63,13 +63,13 @@ func fire(client *http.Client, url string, req serve.Request) shot {
 	if err != nil {
 		return shot{err: err}
 	}
-	start := time.Now()
+	start := time.Now() //aimlint:allow no-wallclock — client-side latency measurement is the point of the load generator
 	resp, err := client.Post(url+"/v1/submit", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return shot{err: err}
 	}
 	defer resp.Body.Close()
-	s := shot{status: resp.StatusCode, latency: time.Since(start)}
+	s := shot{status: resp.StatusCode, latency: time.Since(start)} //aimlint:allow no-wallclock — same: measured round-trip latency
 	if resp.StatusCode == http.StatusOK {
 		var cr clientResponse
 		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
@@ -87,13 +87,15 @@ func fire(client *http.Client, url string, req serve.Request) shot {
 // once) and waits for every answer.
 func volley(client *http.Client, url string, reqs []serve.Request, offsets []time.Duration) []shot {
 	shots := make([]shot, len(reqs))
-	start := time.Now()
+	start := time.Now() //aimlint:allow no-wallclock — anchors the deterministic arrival offsets to real time
 	var wg sync.WaitGroup
 	for i := range reqs {
 		wg.Add(1)
+		//aimlint:allow no-naked-go — open-loop HTTP clients, one per in-flight request; they generate load, they are not simulation work
 		go func(i int) {
 			defer wg.Done()
 			if offsets != nil {
+				//aimlint:allow no-wallclock — paces arrivals against the volley start
 				time.Sleep(offsets[i] - time.Since(start))
 			}
 			shots[i] = fire(client, url, reqs[i])
@@ -136,9 +138,9 @@ func tallyShots(shots []shot) tally {
 // rendered.
 func runAgainstTarget(target string, reqs []serve.Request, offsets []time.Duration, stdout, stderr io.Writer) int {
 	client := &http.Client{Timeout: 2 * time.Minute}
-	wall := time.Now()
+	wall := time.Now() //aimlint:allow no-wallclock — wall-clock run time of the volley, reported beside client-side percentiles
 	t := tallyShots(volley(client, target, reqs, offsets))
-	elapsed := time.Since(wall)
+	elapsed := time.Since(wall) //aimlint:allow no-wallclock — same measurement's other half
 
 	fmt.Fprintf(stdout, "== AIM serving over HTTP: %d requests against %s ==\n", len(reqs), target)
 	fmt.Fprintf(stdout, "  answered:  %d ok, %d shed (429), %d failed over %v\n",

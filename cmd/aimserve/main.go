@@ -253,15 +253,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	defer srv.Close()
-	start := time.Now()
+	start := time.Now() //aimlint:allow no-wallclock — the load generator measures real latency; deterministic output is serve.Render below
 	resps := make([]serve.Response, *n)
 	errs := make([]error, *n)
 	var wg sync.WaitGroup
 	for i := range reqs {
 		wg.Add(1)
+		//aimlint:allow no-naked-go — closed-loop client goroutines, one per in-flight request; they exercise the pool, they are not simulation work
 		go func(i int) {
 			defer wg.Done()
 			if offsets != nil {
+				//aimlint:allow no-wallclock — paces the deterministic arrival offsets against real time
 				time.Sleep(offsets[i] - time.Since(start))
 			}
 			resps[i], errs[i] = srv.Submit(context.Background(), reqs[i])
@@ -274,7 +276,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	wall := time.Since(start)
+	wall := time.Since(start) //aimlint:allow no-wallclock — wall-clock throughput line is printed after the deterministic Render
 
 	fmt.Fprintf(stdout, "== AIM serving: %d requests, mix %q ==\n", *n, *mix)
 	io.WriteString(stdout, serve.Render(reqs, resps))

@@ -75,6 +75,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	//aimlint:allow no-naked-go — signal watcher for graceful drain; blocks on the OS, not on simulation work
 	go func() {
 		<-sigs
 		fmt.Fprintln(stdout, "aimserve serve: draining")

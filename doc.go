@@ -148,4 +148,17 @@
 // answering byte-identically with exact Stats accounting, and the
 // container decoder is natively fuzzed: bytes that decode must
 // re-encode to the same bytes, and no bytes may panic it.
+//
+// The determinism invariants themselves are enforced statically.
+// cmd/aimlint (engine: internal/lint, pure go/ast + go/types)
+// type-checks every package from source and rejects the patterns that
+// break them — wall-clock reads and math/rand imports in
+// deterministic code, map iteration feeding rendered bytes or
+// unsorted accumulators, goroutines outside the deterministic pool,
+// panics reachable from this package's exported API, and stdout
+// writes from libraries. Legitimate exceptions (serving metrics, the
+// limiter's injectable clock, measured bench latencies) carry
+// //aimlint:allow annotations whose reasons are mandatory and whose
+// staleness is itself a finding. CI gates on `make aimlint`: the tree
+// must lint clean and seeded violations must flip the exit code.
 package aim

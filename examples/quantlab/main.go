@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"math"
+	//aimlint:allow no-global-rand — standalone demo stays copy-pasteable outside the module; the fixed seed below keeps it reproducible
 	"math/rand"
 
 	"aim"

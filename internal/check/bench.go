@@ -128,8 +128,15 @@ func benchHTTPFindings(name string, data []byte) []Finding {
 	if doc.Workers < 1 {
 		add(name, "workers %d, want >= 1", doc.Workers)
 	}
-	for phase, p := range map[string]benchHTTPPhase{"steady": doc.Steady, "burst": doc.Burst} {
-		at := name + "." + phase
+	// Phases validate in fixed document order: the findings are
+	// rendered, and map iteration order must never reach output
+	// (aimlint: no-map-range-render).
+	for _, ph := range []struct {
+		name string
+		benchHTTPPhase
+	}{{"steady", doc.Steady}, {"burst", doc.Burst}} {
+		p := ph.benchHTTPPhase
+		at := name + "." + ph.name
 		if p.Requests < 1 {
 			add(at, "requests %d, want >= 1", p.Requests)
 			continue

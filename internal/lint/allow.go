@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// allowMarker introduces an inline suppression:
+//
+//	//aimlint:allow <rule> — <reason>
+//
+// on the offending line or the line immediately above it. The reason
+// separator may be an em/en dash, "--", or ":".
+const allowMarker = "//aimlint:allow"
+
+// allow is one parsed annotation.
+type allow struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+	// used is set when the allow suppressed at least one finding; an
+	// unused allow is stale and reported.
+	used bool
+	// problem is non-empty for a malformed annotation (no rule, empty
+	// reason); malformed allows never suppress anything.
+	problem string
+}
+
+// parseAllows extracts every allow annotation from a parsed file.
+func parseAllows(fset *token.FileSet, f *ast.File) []*allow {
+	var out []*allow
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, allowMarker)
+			if !ok {
+				continue
+			}
+			// "//aimlint:allowance" is not an annotation.
+			if rest != "" && !unicode.IsSpace(rune(rest[0])) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			a := &allow{file: pos.Filename, line: pos.Line}
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				a.problem = "allow annotation names no rule (want //aimlint:allow <rule> — <reason>)"
+				out = append(out, a)
+				continue
+			}
+			a.rule, rest, _ = strings.Cut(rest, " ")
+			a.reason = strings.TrimLeftFunc(rest, func(r rune) bool {
+				return r == '—' || r == '–' || r == '-' || r == ':' || unicode.IsSpace(r)
+			})
+			if !knownRule(a.rule) {
+				a.problem = "allow annotation names unknown rule " + quote(a.rule) + " (known: " + strings.Join(RuleNames(), ", ") + ")"
+			} else if a.reason == "" {
+				a.problem = "allow annotation for " + a.rule + " gives no reason; say why the exception is safe"
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func knownRule(name string) bool {
+	for _, r := range rules {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// applyAllows suppresses findings covered by a well-formed allow on
+// the same or preceding line, then appends findings for every
+// malformed allow and — for rules that actually ran — every stale one.
+// Findings about the annotations themselves carry the pseudo-rule
+// "allow", so the annotation layer polices itself.
+func applyAllows(findings []Finding, allows []*allow, enabled []Rule) []Finding {
+	byFile := map[string][]*allow{}
+	for _, a := range allows {
+		byFile[a.file] = append(byFile[a.file], a)
+	}
+	ran := map[string]bool{}
+	for _, r := range enabled {
+		ran[r.Name] = true
+	}
+
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, a := range byFile[f.File] {
+			if a.problem != "" || a.rule != f.Rule {
+				continue
+			}
+			if a.line == f.Line || a.line == f.Line-1 {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.problem != "":
+			kept = append(kept, Finding{File: a.file, Line: a.line, Rule: "allow", Message: a.problem})
+		case !a.used && ran[a.rule]:
+			kept = append(kept, Finding{File: a.file, Line: a.line, Rule: "allow",
+				Message: "allow annotation for " + a.rule + " suppresses nothing (stale); delete it"})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,379 @@
+// Package lint implements aimlint, the repository's determinism- and
+// API-discipline static analyzer. Every invariant the test suite pins
+// after the fact — byte-identical experiment tables, bit-identity for
+// any worker count, panic-free public boundaries, RNG draw-order
+// pinning through internal/xrand — has a compile-time failure mode:
+// a stray time.Now in a simulation path, a bare map range feeding a
+// renderer, a raw go statement bypassing internal/runner's
+// deterministic merge. aimlint walks the whole module and reports
+// those shapes as findings before a test ever has to catch the drift.
+//
+// The analyzer is stdlib-only (go/parser, go/ast, go/types with the
+// source importer), matching the module's dependency-free go.mod.
+// Module-internal imports are resolved straight to their directories;
+// the standard library is type-checked from GOROOT source.
+//
+// Legitimate exceptions — a serving latency metric, a limiter clock, a
+// documented sentinel panic — are suppressed in place with
+//
+//	//aimlint:allow <rule> — <reason>
+//
+// on (or immediately above) the offending line. The reason must be
+// non-empty and the rule must exist; an allow that suppresses nothing
+// is itself a finding, so stale annotations cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// File is the path as parsed (relative to the analysis root as the
+	// caller named it), Line/Col the 1-based position.
+	File string
+	Line int
+	Col  int
+	// Rule is the rule name ("no-wallclock", ..., or "allow" for a
+	// defective annotation).
+	Rule string
+	// Message says what is wrong and what the compliant shape is.
+	Message string
+}
+
+// String renders the canonical "file:line: rule: message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Message)
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Root is the directory tree to analyze (the module root for a
+	// whole-repo run, or any package subtree).
+	Root string
+	// Module is the import path of the package at Root. Empty reads
+	// the module line from Root/go.mod, falling back to "main".
+	Module string
+	// Rules selects a subset of rule names; nil or empty runs all.
+	Rules []string
+}
+
+// Result is a completed analysis.
+type Result struct {
+	// Findings is sorted by file, line, column, rule.
+	Findings []Finding
+	// Packages is the number of packages type-checked and analyzed.
+	Packages int
+}
+
+// Run analyzes every package under opt.Root (skipping testdata, _test
+// files and hidden directories) and returns the surviving findings
+// after //aimlint:allow suppression.
+func Run(opt Options) (*Result, error) {
+	root := filepath.Clean(opt.Root)
+	if root == "" {
+		root = "."
+	}
+	module := opt.Module
+	if module == "" {
+		module = modulePath(root)
+	}
+	enabled, err := resolveRules(opt.Rules)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: no Go packages under %s", root)
+	}
+
+	fset := token.NewFileSet()
+	ld := newLoader(fset, root, module)
+
+	var findings []Finding
+	var allows []*allow
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		ipath := importPathFor(root, module, dir)
+		info := &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Defs:  make(map[*ast.Ident]types.Object),
+			Uses:  make(map[*ast.Ident]types.Object),
+		}
+		var terrs []error
+		conf := types.Config{
+			Importer: ld,
+			Error:    func(err error) { terrs = append(terrs, err) },
+		}
+		tpkg, _ := conf.Check(ipath, fset, files, info)
+		if len(terrs) > 0 {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", ipath, terrs[0])
+		}
+		p := &pass{
+			fset:    fset,
+			module:  module,
+			path:    ipath,
+			relDir:  relDir(root, dir),
+			pkgName: tpkg.Name(),
+			files:   files,
+			info:    info,
+		}
+		for _, r := range enabled {
+			r.run(p)
+		}
+		findings = append(findings, p.findings...)
+		for _, f := range files {
+			allows = append(allows, parseAllows(fset, f)...)
+		}
+	}
+
+	findings = applyAllows(findings, allows, enabled)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return &Result{Findings: findings, Packages: len(dirs)}, nil
+}
+
+// modulePath reads the module line of root/go.mod; a tree without one
+// (the smoke harness's temp packages) analyzes under the name "main".
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "main"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return "main"
+}
+
+// packageDirs collects, in sorted order, every directory under root
+// holding at least one non-test Go file. testdata trees (the lint
+// corpus itself), hidden and underscore directories are skipped, the
+// same set of exclusions the go tool applies.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			seen[filepath.Dir(p)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking %s: %w", root, err)
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory, with
+// comments (the allow annotations live there).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importPathFor maps a directory under root to its import path.
+func importPathFor(root, module, dir string) string {
+	rel := relDir(root, dir)
+	if rel == "." {
+		return module
+	}
+	return path.Join(module, rel)
+}
+
+// relDir is dir relative to root in slash form ("." for root itself).
+func relDir(root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return dir
+	}
+	return filepath.ToSlash(rel)
+}
+
+// loader resolves imports during type-checking: module-internal paths
+// are type-checked straight from their source directories (no go/build
+// lookup, so the walk works in any temp tree), everything else — the
+// standard library — goes through the source importer against GOROOT.
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	module string
+	std    types.Importer
+	pkgs   map[string]*types.Package
+}
+
+func newLoader(fset *token.FileSet, root, module string) *loader {
+	return &loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*types.Package),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(ipath string) (*types.Package, error) {
+	if p, ok := l.pkgs[ipath]; ok {
+		return p, nil
+	}
+	dir, ok := l.moduleDir(ipath)
+	if !ok {
+		return l.std.Import(ipath)
+	}
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s for import %q", dir, ipath)
+	}
+	conf := types.Config{Importer: l}
+	p, err := conf.Check(ipath, l.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[ipath] = p
+	return p, nil
+}
+
+// moduleDir maps a module-internal import path to its directory.
+func (l *loader) moduleDir(ipath string) (string, bool) {
+	if ipath == l.module {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(ipath, l.module+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// pass is the per-package analysis context handed to each rule.
+type pass struct {
+	fset     *token.FileSet
+	module   string
+	path     string // import path
+	relDir   string // directory relative to the analysis root
+	pkgName  string
+	files    []*ast.File
+	info     *types.Info
+	findings []Finding
+}
+
+// report records a finding at pos.
+func (p *pass) report(pos token.Pos, rule, format string, args ...any) {
+	at := p.fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		File:    at.Filename,
+		Line:    at.Line,
+		Col:     at.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// funcOf resolves an identifier used in call position to the function
+// object it names, if any.
+func (p *pass) funcOf(expr ast.Expr) *types.Func {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		fn, _ := p.info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.info.Uses[e.Sel].(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return p.funcOf(e.X)
+	}
+	return nil
+}
+
+// isPkgFunc reports whether expr names the package-level function
+// pkgPath.name (or any of names).
+func (p *pass) isPkgFunc(expr ast.Expr, pkgPath string, names ...string) bool {
+	fn := p.funcOf(expr)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether the identifier resolves to the named
+// predeclared function (panic, println, append, ...).
+func (p *pass) isBuiltin(expr ast.Expr, name string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runCase analyzes one corpus directory under testdata/src and returns
+// its findings, failing the test on analysis errors.
+func runCase(t *testing.T, dir string, rules ...string) []Finding {
+	t.Helper()
+	res, err := Run(Options{Root: filepath.Join("testdata", "src", dir), Rules: rules})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", dir, err)
+	}
+	return res.Findings
+}
+
+// keys renders findings as sorted "file:rule" strings so tests compare
+// what fired and where without pinning line numbers.
+func keys(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = filepath.Base(f.File) + ":" + f.Rule
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCorpus runs every rule over its known-bad and known-good snippet
+// pair: bad.go must produce exactly the expected findings and good.go
+// must produce none (any "good.go:*" key breaks the equality).
+func TestCorpus(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"wallclock", []string{"bad.go:no-wallclock", "bad.go:no-wallclock", "bad.go:no-wallclock"}},
+		{"globalrand", []string{"bad.go:no-global-rand"}},
+		{"maprange", []string{"bad.go:no-map-range-render", "bad.go:no-map-range-render"}},
+		{"nakedgo", []string{"bad.go:no-naked-go"}},
+		{"panicpublic", []string{"bad.go:no-panic-public"}},
+		{"fmtprint", []string{"bad.go:no-fmt-print", "bad.go:no-fmt-print"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			got := keys(runCase(t, tc.dir))
+			if strings.Join(got, "\n") != strings.Join(tc.want, "\n") {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPanicBlame checks the reachability report names the exported
+// entry point, not just the panic site.
+func TestPanicBlame(t *testing.T) {
+	fs := runCase(t, "panicpublic")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "Parse") {
+		t.Errorf("blame message %q does not name the exported entry Parse", fs[0].Message)
+	}
+}
+
+// TestAllowMachinery covers the three annotation outcomes: a valid
+// allow suppresses, a stale allow is itself a finding, and malformed
+// allows (no reason, unknown rule) are findings that suppress nothing.
+func TestAllowMachinery(t *testing.T) {
+	if fs := runCase(t, "allowclean"); len(fs) != 0 {
+		t.Errorf("allowclean: valid allow should suppress everything, got %v", fs)
+	}
+	if got, want := keys(runCase(t, "allowstale")), []string{"stale.go:allow"}; strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("allowstale: got %v, want %v", got, want)
+	}
+	got := keys(runCase(t, "allowbad"))
+	want := []string{"bad.go:allow", "bad.go:allow", "bad.go:no-wallclock"}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("allowbad: got %v, want %v", got, want)
+	}
+}
+
+// TestRuleFilter: disabling a rule silences its findings, and allows
+// naming a rule that did not run are exempt from staleness.
+func TestRuleFilter(t *testing.T) {
+	if fs := runCase(t, "wallclock", "no-naked-go"); len(fs) != 0 {
+		t.Errorf("wallclock with only no-naked-go enabled: got %v, want none", fs)
+	}
+	if fs := runCase(t, "allowstale", "no-naked-go"); len(fs) != 0 {
+		t.Errorf("stale allow for a disabled rule must not be reported, got %v", fs)
+	}
+	if _, err := Run(Options{Root: filepath.Join("testdata", "src", "wallclock"), Rules: []string{"no-such-rule"}}); err == nil {
+		t.Error("unknown rule name: want error, got nil")
+	}
+}
+
+// TestRepoCleanAtHead is the self-test the acceptance criteria demand:
+// the repository itself lints clean with every rule enabled.
+func TestRepoCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	res, err := Run(Options{Root: filepath.Join("..", "..")})
+	if err != nil {
+		t.Fatalf("Run(repo root): %v", err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("repo not clean: %s", f)
+	}
+	if res.Packages < 30 {
+		t.Errorf("walked only %d packages; the walker is missing most of the tree", res.Packages)
+	}
+}
+
+// TestFindingString pins the one-line output contract the CLI, CI grep
+// patterns, and editors all parse.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "pkg/a.go", Line: 12, Col: 3, Rule: "no-wallclock", Message: "call to time.Now"}
+	if got, want := f.String(), "pkg/a.go:12: no-wallclock: call to time.Now"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestRuleNames pins the registry: adding a rule without documenting
+// it in the README/ARCHITECTURE tables should trip this list.
+func TestRuleNames(t *testing.T) {
+	want := []string{
+		"no-wallclock", "no-global-rand", "no-map-range-render",
+		"no-naked-go", "no-panic-public", "no-fmt-print",
+	}
+	if got := RuleNames(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("RuleNames() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,499 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule is one named check with a one-line contract.
+type Rule struct {
+	Name string
+	Doc  string
+	run  func(p *pass)
+}
+
+// rules is the registry, in documentation order.
+var rules = []Rule{
+	{
+		Name: "no-wallclock",
+		Doc:  "time.Now/Since/Tick outside examples/ — deterministic code takes time as input; metrics-only uses carry an allow",
+		run:  runNoWallclock,
+	},
+	{
+		Name: "no-global-rand",
+		Doc:  "math/rand imported outside internal/xrand — every draw must come from a named, pinned xrand stream",
+		run:  runNoGlobalRand,
+	},
+	{
+		Name: "no-map-range-render",
+		Doc:  "range over a map feeding rendered bytes or an unsorted accumulator — iteration order leaks into output",
+		run:  runNoMapRangeRender,
+	},
+	{
+		Name: "no-naked-go",
+		Doc:  "go statement outside internal/runner and internal/serve — concurrency routes through the deterministic pool",
+		run:  runNoNakedGo,
+	},
+	{
+		Name: "no-panic-public",
+		Doc:  "panic reachable from an exported function of the root aim package or a cmd/* entry point — boundaries return errors",
+		run:  runNoPanicPublic,
+	},
+	{
+		Name: "no-fmt-print",
+		Doc:  "fmt.Print*/println in a library package — libraries return bytes or take writers, CLIs own stdout",
+		run:  runNoFmtPrint,
+	},
+}
+
+// Rules returns the registry for documentation and flag validation.
+func Rules() []Rule { return rules }
+
+// RuleNames returns the registry's names in order.
+func RuleNames() []string {
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// resolveRules maps a name subset to registry entries; nil means all.
+func resolveRules(names []string) ([]Rule, error) {
+	if len(names) == 0 {
+		return rules, nil
+	}
+	byName := map[string]Rule{}
+	for _, r := range rules {
+		byName[r.Name] = r
+	}
+	var out []Rule
+	for _, n := range names {
+		r, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", n, strings.Join(RuleNames(), ", "))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// inExamples reports whether the package lives under examples/ —
+// user-copyable demos outside the determinism boundary.
+func (p *pass) inExamples() bool {
+	return p.relDir == "examples" || strings.HasPrefix(p.relDir, "examples/")
+}
+
+// isPoolPackage reports whether the package is one of the two that own
+// goroutines: the deterministic worker pool and the serving runtime
+// built on it.
+func (p *pass) isPoolPackage() bool {
+	return strings.HasSuffix(p.path, "internal/runner") || strings.HasSuffix(p.path, "internal/serve")
+}
+
+// isPublicBoundary reports whether the package is the module root (the
+// public aim API) or a command under cmd/ — the surfaces PR 4 made
+// panic-free.
+func (p *pass) isPublicBoundary() bool {
+	return p.relDir == "." || p.relDir == "cmd" || strings.HasPrefix(p.relDir, "cmd/")
+}
+
+// no-wallclock: time.Now, time.Since and time.Tick are banned outside
+// examples/. The deterministic packages (sim, experiments, pdn, pim,
+// stream, irdrop, mapping, core, booster, vf, fxp, quant, tensor,
+// planstore) must not read the clock at all; serving metrics, limiter
+// clocks and bench harnesses document their wall-clock reads with an
+// allow so the exception is visible at the call site.
+func runNoWallclock(p *pass) {
+	if p.inExamples() {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.isPkgFunc(sel, "time", "Now", "Since", "Tick") {
+				p.report(sel.Pos(), "no-wallclock",
+					"time.%s reads the wall clock; deterministic code takes time as input (inject a clock, or annotate a metrics-only use)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// no-global-rand: importing math/rand anywhere but internal/xrand
+// bypasses the named-stream seeding that keeps experiment tables
+// byte-identical across runs, machines and worker counts.
+func runNoGlobalRand(p *pass) {
+	if strings.HasSuffix(p.path, "internal/xrand") {
+		return
+	}
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				p.report(imp.Pos(), "no-global-rand",
+					"import %s bypasses internal/xrand's pinned draw order; derive a named stream with xrand.NewNamed instead",
+					imp.Path.Value)
+			}
+		}
+	}
+}
+
+// no-naked-go: a bare go statement outside internal/runner and
+// internal/serve sidesteps the bounded pool whose index-order merge is
+// what makes parallel output bit-identical to serial.
+func runNoNakedGo(p *pass) {
+	if p.isPoolPackage() {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.report(g.Pos(), "no-naked-go",
+					"go statement bypasses internal/runner's deterministic pool; use runner.Map/Collect (or annotate infrastructure concurrency)")
+			}
+			return true
+		})
+	}
+}
+
+// no-fmt-print: fmt.Print/Printf/Println and the predeclared
+// print/println write to process-global streams. Library packages
+// return strings or take io.Writers; only package main owns stdout.
+func runNoFmtPrint(p *pass) {
+	if p.pkgName == "main" {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.isPkgFunc(call.Fun, "fmt", "Print", "Printf", "Println") {
+				p.report(call.Pos(), "no-fmt-print",
+					"fmt.%s writes to process-global stdout from a library; return the string or take an io.Writer",
+					p.funcOf(call.Fun).Name())
+			}
+			if p.isBuiltin(call.Fun, "println") || p.isBuiltin(call.Fun, "print") {
+				p.report(call.Pos(), "no-fmt-print",
+					"builtin println writes to stderr from a library; return the string or take an io.Writer")
+			}
+			return true
+		})
+	}
+}
+
+// no-map-range-render: a range over a map inside rendering code makes
+// output order depend on Go's randomized map iteration. The rule fires
+// when the loop body (including locally-defined closures it calls)
+// either writes bytes — fmt.Fprint*, io.WriteString, Write*/Encode
+// methods, strconv.Append* — or appends to a slice that the function
+// never sorts afterwards. The compliant shape is collect-keys,
+// sort, then iterate the slice; that idiom is recognized and not
+// flagged.
+func runNoMapRangeRender(p *pass) {
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkMapRanges(fd)
+		}
+	}
+}
+
+// checkMapRanges analyzes one function body for map-order leaks.
+func (p *pass) checkMapRanges(fd *ast.FuncDecl) {
+	closures := p.localClosures(fd.Body)
+	sorted := p.sortedSlices(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		writes, appended := p.scanRangeBody(rng.Body, closures)
+		if writes {
+			p.report(rng.Pos(), "no-map-range-render",
+				"map iteration order reaches rendered bytes; collect the keys, sort, then write")
+			return true
+		}
+		var unsorted []string
+		for obj := range appended {
+			if !sorted[obj] {
+				unsorted = append(unsorted, obj.Name())
+			}
+		}
+		if len(unsorted) > 0 {
+			sort.Strings(unsorted)
+			p.report(rng.Pos(), "no-map-range-render",
+				"map iteration appends to %s in nondeterministic order and the slice is never sorted in this function",
+				strings.Join(unsorted, ", "))
+		}
+		return true
+	})
+}
+
+// localClosures maps identifiers bound to function literals in this
+// body (add := func(...){...}; var add = func(...){...}), so a range
+// body calling a local helper is analyzed through it.
+func (p *pass) localClosures(body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	bind := func(id *ast.Ident, rhs ast.Expr) {
+		lit, ok := rhs.(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if obj := p.info.Defs[id]; obj != nil {
+			out[obj] = lit
+		} else if obj := p.info.Uses[id]; obj != nil {
+			out[obj] = lit
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				if id, ok := st.Lhs[i].(*ast.Ident); ok {
+					bind(id, st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range st.Names {
+				if i >= len(st.Values) {
+					break
+				}
+				bind(st.Names[i], st.Values[i])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedSlices collects every identifier the function hands to a
+// sort.* or slices.Sort* call — the second half of the
+// collect-then-sort idiom.
+func (p *pass) sortedSlices(body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.funcOf(call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := p.info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// scanRangeBody walks a map-range body — following calls into local
+// closures one level deep — and reports whether it writes bytes, plus
+// the set of slice variables it appends to.
+func (p *pass) scanRangeBody(body ast.Node, closures map[types.Object]*ast.FuncLit) (writes bool, appended map[types.Object]bool) {
+	appended = map[types.Object]bool{}
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				if p.isWriteCall(st) {
+					writes = true
+				}
+				if depth < 1 {
+					if id, ok := st.Fun.(*ast.Ident); ok {
+						if lit, ok := closures[p.info.Uses[id]]; ok {
+							scan(lit.Body, depth+1)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i := range st.Rhs {
+					call, ok := st.Rhs[i].(*ast.CallExpr)
+					if !ok || !p.isBuiltin(call.Fun, "append") {
+						continue
+					}
+					if i >= len(st.Lhs) {
+						break
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if obj := p.info.Uses[id]; obj != nil {
+							appended[obj] = true
+						} else if obj := p.info.Defs[id]; obj != nil {
+							appended[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(body, 0)
+	return writes, appended
+}
+
+// isWriteCall reports whether a call renders bytes: fmt.Fprint*,
+// io.WriteString, strconv.Append*, or a method named like a writer or
+// encoder (Write, WriteString, WriteByte, WriteRune, Encode).
+func (p *pass) isWriteCall(call *ast.CallExpr) bool {
+	fn := p.funcOf(call.Fun)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if strings.HasPrefix(name, "Fprint") {
+				return true
+			}
+		case "io":
+			if name == "WriteString" {
+				return true
+			}
+		case "strconv":
+			if strings.HasPrefix(name, "Append") {
+				return true
+			}
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+	}
+	return false
+}
+
+// no-panic-public: the PR 4 convention — the public aim API and every
+// command return errors, never panic. The rule builds the package's
+// static same-package call graph and reports each panic statement
+// reachable from an exported function (or main). A function that uses
+// recover is treated as a boundary and not traversed. Documented
+// sentinel panics carry an allow at the panic site.
+func runNoPanicPublic(p *pass) {
+	if !p.isPublicBoundary() {
+		return
+	}
+	type funcInfo struct {
+		decl     *ast.FuncDecl
+		panics   []ast.Node
+		callees  []types.Object
+		recovers bool
+	}
+	infos := map[types.Object]*funcInfo{}
+	var order []types.Object
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := p.info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			fi := &funcInfo{decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					if id, ok := n.(*ast.Ident); ok && p.isBuiltin(id, "recover") {
+						fi.recovers = true
+					}
+					return true
+				}
+				if p.isBuiltin(call.Fun, "panic") {
+					fi.panics = append(fi.panics, call)
+					return true
+				}
+				if fn := p.funcOf(call.Fun); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == p.path {
+					fi.callees = append(fi.callees, fn)
+				}
+				return true
+			})
+			infos[obj] = fi
+			order = append(order, obj)
+		}
+	}
+
+	// entryName sorts exported entry points by name so attribution is
+	// deterministic: each reachable panic is reported once, blamed on
+	// the alphabetically first entry that reaches it.
+	var entries []types.Object
+	for _, obj := range order {
+		name := infos[obj].decl.Name.Name
+		if ast.IsExported(name) || name == "main" {
+			entries = append(entries, obj)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Name() < entries[j].Name()
+	})
+
+	blamed := map[ast.Node]string{}
+	for _, entry := range entries {
+		seen := map[types.Object]bool{}
+		var visit func(obj types.Object)
+		visit = func(obj types.Object) {
+			if seen[obj] {
+				return
+			}
+			seen[obj] = true
+			fi := infos[obj]
+			if fi == nil || fi.recovers {
+				return
+			}
+			for _, site := range fi.panics {
+				if _, ok := blamed[site]; !ok {
+					blamed[site] = entry.Name()
+				}
+			}
+			for _, callee := range fi.callees {
+				visit(callee)
+			}
+		}
+		visit(entry)
+	}
+
+	// Report in source order: walk the recorded panic sites per file.
+	for _, obj := range order {
+		for _, site := range infos[obj].panics {
+			if entry, ok := blamed[site]; ok {
+				p.report(site.Pos(), "no-panic-public",
+					"panic reachable from exported %s; public boundaries return errors (or annotate a documented sentinel)", entry)
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package allowbad
+
+import "time"
+
+// Clock carries two defective annotations: one with no reason, one
+// naming an unknown rule. Neither suppresses, both are findings, and
+// the wall-clock read itself still surfaces.
+func Clock() time.Time {
+	//aimlint:allow no-wallclock
+	return time.Now() //aimlint:allow no-wall-clock — rule name is wrong
+}

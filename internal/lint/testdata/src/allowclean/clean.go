@@ -1,0 +1,9 @@
+package allowclean
+
+import "time"
+
+// Uptime measures real elapsed time for a metrics line; the allow
+// documents why the wall-clock read is safe, so nothing is reported.
+func Uptime(started time.Time) time.Duration {
+	return time.Since(started) //aimlint:allow no-wallclock — metrics-only: feeds a human-facing uptime line, never result bytes
+}

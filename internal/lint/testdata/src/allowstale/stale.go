@@ -1,0 +1,7 @@
+package allowstale
+
+// Answer has nothing to suppress; the allow below is stale and must be
+// reported so dead annotations cannot rot in place.
+//
+//aimlint:allow no-wallclock — there is no wall-clock read here
+func Answer() int { return 42 }

@@ -1,0 +1,10 @@
+package fmtprint
+
+import "fmt"
+
+// Report prints from a library package — the no-fmt-print rule must
+// flag both the fmt call and the builtin.
+func Report(n int) {
+	fmt.Println("count:", n)
+	println("debug:", n)
+}

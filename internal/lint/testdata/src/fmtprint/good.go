@@ -1,0 +1,9 @@
+package fmtprint
+
+import "fmt"
+
+// Describe is the compliant shape: the library returns the string and
+// the caller owns the streams.
+func Describe(n int) string {
+	return fmt.Sprintf("count: %d", n)
+}

@@ -1,0 +1,7 @@
+package globalrand
+
+import "math/rand"
+
+// Draw uses the process-global generator: unseeded and shared with
+// every other caller — the no-global-rand rule must flag the import.
+func Draw() float64 { return rand.Float64() }

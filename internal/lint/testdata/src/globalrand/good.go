@@ -1,0 +1,10 @@
+package globalrand
+
+// Stream is the compliant shape: draws come from an injected named
+// stream (aim/internal/xrand in the real tree).
+type Stream interface {
+	Float64() float64
+}
+
+// DrawFrom consumes the caller's pinned stream.
+func DrawFrom(s Stream) float64 { return s.Float64() }

@@ -1,0 +1,24 @@
+package maprange
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes rows straight out of map iteration: the byte order
+// changes run to run — the no-map-range-render rule must flag it.
+func Render(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Collect accumulates keys in iteration order and never sorts them, so
+// the nondeterminism escapes to the caller — also flagged.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,19 @@
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderSorted is the compliant shape: collect, sort, then write.
+func RenderSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,7 @@
+package nakedgo
+
+// Fire launches an untracked goroutine: no bounded pool, no
+// deterministic merge — the no-naked-go rule must flag it.
+func Fire(work func()) {
+	go work()
+}

@@ -1,0 +1,10 @@
+package nakedgo
+
+// Pool is the compliant shape: work routes through a pool whose merge
+// order is deterministic (aim/internal/runner in the real tree).
+type Pool interface {
+	Map(n int, fn func(i int))
+}
+
+// FanOut submits shards to the injected pool.
+func FanOut(p Pool, n int, fn func(i int)) { p.Map(n, fn) }

@@ -1,0 +1,12 @@
+package panicpublic
+
+// Parse is exported and reaches mustParse's panic — the
+// no-panic-public rule must flag the panic site.
+func Parse(s string) int { return mustParse(s) }
+
+func mustParse(s string) int {
+	if s == "" {
+		panic("panicpublic: empty input")
+	}
+	return len(s)
+}

@@ -1,0 +1,24 @@
+package panicpublic
+
+import "errors"
+
+// ParseErr is the compliant boundary: errors, not panics.
+func ParseErr(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("panicpublic: empty input")
+	}
+	return len(s), nil
+}
+
+// Guarded calls a recover-protected helper; the barrier keeps the
+// panic out of the public graph, so nothing is reported.
+func Guarded() error { return guarded() }
+
+func guarded() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("recovered")
+		}
+	}()
+	panic("contained")
+}

@@ -1,0 +1,11 @@
+package wallclock
+
+import "time"
+
+// Elapsed is deliberately nondeterministic: three wall-clock reads the
+// no-wallclock rule must flag.
+func Elapsed() time.Duration {
+	start := time.Now()
+	<-time.Tick(time.Millisecond)
+	return time.Since(start)
+}

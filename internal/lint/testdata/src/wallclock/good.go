@@ -1,0 +1,12 @@
+package wallclock
+
+import "time"
+
+// Stamp is the compliant shape: the clock is an input, so tests and
+// deterministic callers inject a fake.
+type Stamp struct {
+	Clock func() time.Time
+}
+
+// At reads the injected clock, never the wall.
+func (s Stamp) At() time.Time { return s.Clock() }

@@ -96,6 +96,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 			return Response{}, &OverloadError{RetryAfter: retry, RateLimited: true}
 		}
 	}
+	//aimlint:allow no-wallclock — enqueue timestamp feeds only the Latency metric and the EWMA Retry-After hint, never result bytes
 	p := &pending{req: nr, key: key, reply: make(chan answer, 1), enq: time.Now()}
 	select {
 	case <-s.stop:
@@ -115,7 +116,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 		if a.err != nil {
 			return Response{}, a.err
 		}
-		a.resp.Latency = time.Since(p.enq)
+		a.resp.Latency = time.Since(p.enq) //aimlint:allow no-wallclock — queueing latency is wall-clock by definition; Render never reads it
 		s.observeLatency(a.resp.Latency)
 		return a.resp, nil
 	}

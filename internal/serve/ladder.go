@@ -59,7 +59,7 @@ const (
 func newLadder(target time.Duration) *ladder {
 	return &ladder{
 		target: target,
-		now:    time.Now,
+		now:    time.Now, //aimlint:allow no-wallclock — default for the injectable clock seam; the SLO ladder steps on real p95, tests inject a fake
 		cur:    sim.SpatialPDN,
 		window: make([]time.Duration, 0, ladderWindow),
 	}

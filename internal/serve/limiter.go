@@ -42,6 +42,7 @@ func newLimiter(rate float64, burst int) *limiter {
 	if burst == 0 {
 		b = math.Max(1, math.Ceil(rate))
 	}
+	//aimlint:allow no-wallclock — default for the injectable clock seam; token buckets refill in real time, tests inject a fake
 	return &limiter{rate: rate, burst: b, now: time.Now, buckets: make(map[string]*bucket)}
 }
 

@@ -332,7 +332,7 @@ func New(opt Options) (*Server, error) {
 		admit:   make(chan *pending, opt.Queue),
 		exec:    make(chan *batch, opt.Queue),
 		stop:    make(chan struct{}),
-		started: time.Now(),
+		started: time.Now(), //aimlint:allow no-wallclock — server start time anchors the req/s metric only; Render output never reads it
 	}
 	if opt.RatePerClient > 0 {
 		s.limiter = newLimiter(opt.RatePerClient, opt.Burst)
@@ -445,7 +445,7 @@ func (s *Server) Metrics() Metrics {
 	lat := append([]time.Duration(nil), s.latencies...)
 	started := s.started
 	s.mu.Unlock()
-	m := Metrics{Stats: st, Wall: time.Since(started)}
+	m := Metrics{Stats: st, Wall: time.Since(started)} //aimlint:allow no-wallclock — Metrics is the wall-clock view, deliberately separate from the deterministic Render
 	if m.Wall > 0 {
 		m.ReqPerSec = float64(st.Requests) / m.Wall.Seconds()
 	}

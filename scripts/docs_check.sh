@@ -1,13 +1,20 @@
 #!/bin/sh
 # docs_check.sh — the CI docs gate (`make docs-check`).
 #
-# Two promises the documentation pass made, kept true mechanically:
+# Four promises the documentation passes made, kept true mechanically:
 #   1. Every Go package under internal/ and cmd/ carries a package doc
 #      comment ("// Package <name> ..." for libraries, "// Command
 #      <name> ..." for main packages), so `go doc` is never empty.
 #   2. Every relative link in ARCHITECTURE.md and README.md resolves
 #      to a file or directory in the repo, so the navigation map never
 #      rots.
+#   3. CHANGES.md carries exactly one line per PR, each starting
+#      "PR <n>: " with n sequential from 1 — it is the next session's
+#      only memory of this one, and a skipped or doubled entry breaks
+#      that chain silently.
+#   4. ISSUE.md keeps its structural headers (# ISSUE, ## Motivation,
+#      ## Tentpole, ## Satellite tasks, ## Acceptance criteria), so
+#      the task contract stays parseable.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,6 +46,37 @@ for md in ARCHITECTURE.md README.md; do
 		fi
 	done
 done
+
+if [ ! -f CHANGES.md ]; then
+	echo "docs-check: CHANGES.md is missing"
+	fail=1
+else
+	n=0
+	while IFS= read -r line; do
+		[ -n "$line" ] || continue
+		n=$((n + 1))
+		case "$line" in
+		"PR $n: "*) ;;
+		*)
+			echo "docs-check: CHANGES.md non-empty line $n must start with 'PR $n: '"
+			fail=1
+			;;
+		esac
+	done <CHANGES.md
+	if [ "$n" -lt 1 ]; then
+		echo "docs-check: CHANGES.md has no PR lines"
+		fail=1
+	fi
+fi
+
+if [ -f ISSUE.md ]; then
+	for h in '^# ISSUE' '^## Motivation$' '^## Tentpole$' '^## Satellite tasks$' '^## Acceptance criteria$'; do
+		if ! grep -qE "$h" ISSUE.md; then
+			echo "docs-check: ISSUE.md is missing a header matching '$h'"
+			fail=1
+		fi
+	done
+fi
 
 if [ "$fail" -ne 0 ]; then
 	echo "docs-check: FAILED"

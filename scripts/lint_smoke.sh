@@ -1,0 +1,72 @@
+#!/bin/sh
+# lint_smoke.sh — the CI static-analysis gate (`make aimlint`).
+#
+# Two halves, same shape as check_smoke.sh. First the positive
+# contract: aimlint's six determinism/API-discipline rules over the
+# whole module must exit 0 — the tree as shipped lints clean. Then the
+# negative contract: freshly seeded violations in a temp tree (a naked
+# goroutine reading the wall clock, then a stale //aimlint:allow) must
+# each flip the exit code to 1. A linter that cannot see the violation
+# it was built for is worse than no linter; this script is the
+# mechanical proof that it can.
+set -u
+
+GO="${GO:-go}"
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+aimlint="$tmp/aimlint"
+$GO build -o "$aimlint" ./cmd/aimlint || exit 1
+
+fail=0
+
+# expect WANT DESC ARGS... — run aimlint, require exit code WANT.
+expect() {
+	want=$1
+	desc=$2
+	shift 2
+	"$aimlint" "$@" >/dev/null 2>&1
+	got=$?
+	if [ "$got" -ne "$want" ]; then
+		echo "lint_smoke: $desc: exit $got, want $want"
+		fail=1
+	else
+		echo "lint_smoke: ok ($desc)"
+	fi
+}
+
+expect 0 "repository lints clean" ./...
+
+seed="$tmp/seeded"
+mkdir -p "$seed"
+cat >"$seed/bad.go" <<'EOF'
+package seeded
+
+import "time"
+
+// Leak launches an untracked goroutine reading the wall clock: the
+// no-naked-go and no-wallclock rules must both fire on it.
+func Leak() {
+	go func() { _ = time.Now() }()
+}
+EOF
+expect 1 "seeded violation flips the gate" "$seed"
+
+cat >"$seed/bad.go" <<'EOF'
+package seeded
+
+// Fine has nothing to suppress; the stale allow below must flip the
+// gate on its own.
+//
+//aimlint:allow no-wallclock — nothing here reads the clock
+func Fine() int { return 1 }
+EOF
+expect 1 "stale allow flips the gate" "$seed"
+
+if [ "$fail" -ne 0 ]; then
+	echo "lint_smoke: FAILED"
+	exit 1
+fi
+echo "lint_smoke: OK"
