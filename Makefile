@@ -45,17 +45,27 @@ bench:
 # series, keeping the FASTEST run per benchmark (min-of-N): single
 # shots on a shared box swing several percent, and a perf trajectory
 # wants the machine's capability, not its load spikes. The original
-# ns/op string is preserved verbatim.
+# ns/op string is preserved verbatim. A benchmark reporting a sat/op
+# metric column (the spatial benches' saturated-solve rate) carries its
+# WORST observed rate as "saturated" — accuracy debt must not hide in a
+# lucky pass. Setting BENCH_RATIO=key=NumBench/DenBench appends one
+# headline quotient of the min-of-N numbers to the document.
 define bench_json
-awk 'BEGIN { n = 0 } \
+awk -v ratio="$$BENCH_RATIO" 'BEGIN { n = 0 } \
      /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
        if (!(name in best) || $$3+0 < best[name]) { best[name]=$$3+0; ns[name]=$$3; iters[name]=$$2 } \
        passes[name]++; \
+       for (f=3; f<NF; f++) if ($$(f+1) == "sat/op") { hasSat[name]=1; if ($$f+0 > sat[name]) sat[name]=$$f+0 } \
        if (!(name in seen)) { seen[name]=1; order[++n]=name } } \
      END { printf "{\n  \"benchmarks\": ["; \
        for (i=1;i<=n;i++) { nm=order[i]; if (i>1) printf ","; \
-         printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"passes\": %d}", nm, iters[nm], ns[nm], passes[nm] } \
-       printf "\n  ]\n}\n" }'
+         printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"passes\": %d", nm, iters[nm], ns[nm], passes[nm]; \
+         if (nm in hasSat) printf ", \"saturated\": %g", sat[nm]; \
+         printf "}" } \
+       printf "\n  ]"; \
+       if (ratio != "") { split(ratio, rp, "="); split(rp[2], ab, "/"); \
+         if ((ab[1] in best) && (ab[2] in best) && best[ab[2]] > 0) printf ",\n  \"%s\": %.3f", rp[1], best[ab[1]]/best[ab[2]] } \
+       printf "\n}\n" }'
 endef
 
 # Perf trajectory: ns/op of the packed vs legacy Rtog hot path and the
@@ -107,16 +117,21 @@ bench-serve:
 
 # Spatial-tier trajectory: the SpatialPDN fidelity (per-cycle-window
 # warm multigrid solves of the die PDN) against the PackedToggles
-# baseline it builds on, serial and parallel — emitted as
-# BENCH_spatial.json beside the Rtog, PDN and serve series. The
-# acceptance bar: BenchmarkSimSpatial at most 5x BenchmarkSimPacked
-# (the warm V-cycle must amortize, not dominate).
+# baseline it builds on — serial, parallel, and the incremental
+# configuration (calibrated skip gate + adaptive cadence) — plus the
+# per-window estimator micro-benches (cold / warm / skipped), emitted
+# as BENCH_spatial.json beside the Rtog, PDN and serve series. The
+# document carries spatial_packed_ratio = BenchmarkSimSpatialIncr /
+# BenchmarkSimPacked; the acceptance bar is <= 2.0 (stretch 1.5), and
+# any nonzero saturated rate in the sat/op columns fails aimcheck.
 bench-spatial:
 	@rm -f BENCH_spatial.txt
 	for i in 1 2 3; do \
-		$(GO) test -run '^$$' -bench 'BenchmarkSim(Packed|Spatial(Parallel)?)$$' -benchtime 3x ./internal/sim >> BENCH_spatial.txt || exit 1; \
+		$(GO) test -run '^$$' -bench 'BenchmarkSim(Packed|Spatial(Parallel|Incr)?)$$' -benchtime 3x ./internal/sim >> BENCH_spatial.txt || exit 1; \
+		$(GO) test -run '^$$' -bench 'BenchmarkSpatialEstimate' -benchtime 50x ./internal/irdrop >> BENCH_spatial.txt || exit 1; \
 	done
-	@$(bench_json) BENCH_spatial.txt > BENCH_spatial.json
+	@BENCH_RATIO='spatial_packed_ratio=BenchmarkSimSpatialIncr/BenchmarkSimPacked'; \
+	$(bench_json) BENCH_spatial.txt > BENCH_spatial.json
 	@rm -f BENCH_spatial.txt
 	@cat BENCH_spatial.json
 

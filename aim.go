@@ -3,6 +3,7 @@ package aim
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"aim/internal/core"
@@ -100,6 +101,25 @@ type Config struct {
 	// FidelityAnalytic). Unknown values are rejected with an error,
 	// never silently substituted.
 	Fidelity Fidelity
+	// SpatialWindow is the FidelitySpatial mesh-solve cadence in cycles
+	// (0 = the default 4). Within a window the solved voltage field is
+	// held, like the paper's monitor sampling period. Negative values
+	// are rejected.
+	SpatialWindow int
+	// SpatialSkipMV arms the spatial tier's incremental window-skip
+	// gate: a window whose activity implies less than this many
+	// millivolts of drop change since the last solved window reuses the
+	// previous field instead of solving. 0 (the default) solves every
+	// window — the reference behaviour; ~3 mV (a tenth of the spatial
+	// calibration band) is the calibrated opt-in value. Negative or
+	// non-finite values are rejected. Results stay bit-identical for
+	// any worker count at any setting.
+	SpatialSkipMV float64
+	// SpatialAdaptive adapts the spatial solve cadence to activity
+	// variance: quiet stretches lengthen the window, swings shorten it.
+	// The schedule is a deterministic function of the simulated
+	// activity, so determinism across worker counts is preserved.
+	SpatialAdaptive bool
 }
 
 // Result summarizes a full AIM run against the DVFS baseline.
@@ -164,6 +184,12 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Parallel < 0 {
 		return Result{}, fmt.Errorf("aim: negative parallel %d (0 = one worker per CPU, 1 = serial)", cfg.Parallel)
 	}
+	if cfg.SpatialWindow < 0 {
+		return Result{}, fmt.Errorf("aim: negative spatial window %d (0 = default)", cfg.SpatialWindow)
+	}
+	if cfg.SpatialSkipMV < 0 || math.IsNaN(cfg.SpatialSkipMV) || math.IsInf(cfg.SpatialSkipMV, 0) {
+		return Result{}, fmt.Errorf("aim: spatial skip threshold %v mV (want a finite value >= 0)", cfg.SpatialSkipMV)
+	}
 	net, err := model.ByName(cfg.Network, 2025)
 	if err != nil {
 		return Result{}, err
@@ -172,6 +198,9 @@ func Run(cfg Config) (Result, error) {
 	p.Seed = seed
 	p.Parallel = cfg.Parallel
 	p.Fidelity = fidelity
+	p.SpatialWindow = cfg.SpatialWindow
+	p.SpatialSkipMV = cfg.SpatialSkipMV
+	p.SpatialAdaptive = cfg.SpatialAdaptive
 	p.WDSDelta = delta
 	if cfg.Beta > 0 {
 		p.Beta = cfg.Beta

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	aimc -net resnet18 [-mode sprint|low-power] [-beta 50] [-delta 16] [-seed N] [-parallel N]
-//	     [-fidelity analytic|packed|spatial] [-plan-cache-dir DIR]
+//	     [-fidelity analytic|packed|spatial] [-spatial-window N] [-spatial-skip MV]
+//	     [-spatial-adaptive] [-plan-cache-dir DIR]
 package main
 
 import (
@@ -36,6 +37,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "simulator worker pool: 0 = one per CPU, 1 = serial")
 	fidelity := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial")
+	spatialWindow := fs.Int("spatial-window", 0, "spatial tier mesh-solve cadence in cycles (0 = default)")
+	spatialSkip := fs.Float64("spatial-skip", 0, "spatial tier incremental skip threshold in mV (0 = solve every window)")
+	spatialAdaptive := fs.Bool("spatial-adaptive", false, "adapt the spatial solve cadence to activity variance")
 	planCacheDir := fs.String("plan-cache-dir", "", "reuse compiled plans from this persistent store, writing new ones back (empty = compile fresh)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -45,13 +49,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := aim.Config{
-		Network:  *net,
-		Mode:     aim.Mode(*mode),
-		Beta:     *beta,
-		WDSDelta: *delta,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Fidelity: aim.Fidelity(*fidelity),
+		Network:         *net,
+		Mode:            aim.Mode(*mode),
+		Beta:            *beta,
+		WDSDelta:        *delta,
+		Seed:            *seed,
+		Parallel:        *parallel,
+		Fidelity:        aim.Fidelity(*fidelity),
+		SpatialWindow:   *spatialWindow,
+		SpatialSkipMV:   *spatialSkip,
+		SpatialAdaptive: *spatialAdaptive,
 	}
 	res, err := execute(cfg, *planCacheDir)
 	if err != nil {

@@ -12,7 +12,8 @@
 //	aimserve [-n 48] [-rate 0] [-arrivals poisson|bursty|diurnal]
 //	         [-burst-factor 4] [-period 2s] [-mix zoo|llm|vision|net:mode,...]
 //	         [-workers N] [-beta 50] [-delta 0] [-seed 1] [-parallel 1]
-//	         [-fidelity analytic|packed|spatial|auto] [-target URL]
+//	         [-fidelity analytic|packed|spatial|auto] [-spatial-window N]
+//	         [-spatial-skip MV] [-spatial-adaptive] [-target URL]
 //
 // With -target the generator POSTs the same deterministic request
 // list to a live `aimserve serve` instance instead of an in-process
@@ -190,6 +191,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed (scenario draws, arrival gaps, pipeline)")
 	parallel := fs.Int("parallel", 1, "per-request wave pool (fleet parallelism comes from -workers)")
 	fidelityName := fs.String("fidelity", "analytic", "simulator tier: analytic|packed|spatial, or auto for the SLO ladder (runtime knob; plans are shared across tiers)")
+	spatialWindow := fs.Int("spatial-window", 0, "spatial tier mesh-solve cadence in cycles (0 = default)")
+	spatialSkip := fs.Float64("spatial-skip", 0, "spatial tier incremental skip threshold in mV (0 = solve every window)")
+	spatialAdaptive := fs.Bool("spatial-adaptive", false, "adapt the spatial solve cadence to activity variance")
 	planCacheDir := fs.String("plan-cache-dir", "", "persist compiled plans to this directory and reuse them across restarts (empty = in-process cache only)")
 	target := fs.String("target", "", "POST to a live aimserve serve URL instead of an in-process server")
 	if err := fs.Parse(args); err != nil {
@@ -228,6 +232,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Network: sc.net, Mode: sc.mode,
 			Beta: *beta, Delta: *delta, Seed: *seed, Parallel: *parallel,
 			Fidelity: fidelity, AdaptFidelity: adapt,
+			SpatialWindow: *spatialWindow, SpatialSkipMV: *spatialSkip,
+			SpatialAdaptive: *spatialAdaptive,
 		}
 	}
 	offsets, err := arrivalOffsets(*arrivals, *n, *rate, *burstFactor, *period, *seed)
@@ -296,6 +302,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			m.DiskHits, *planCacheDir)
 	}
 	fmt.Fprintf(stdout, "  batching:    %d batches, mean %.1f req/batch\n", m.Batches, m.MeanBatch)
+	if m.SpatialSolves+m.SpatialSkips > 0 {
+		fmt.Fprintf(stdout, "  spatial:     %d solves (%d V-cycles, %d saturated), %d windows skipped\n",
+			m.SpatialSolves, m.SpatialVCycles, m.SpatialSaturated, m.SpatialSkips)
+	}
 	if adapt {
 		fmt.Fprintf(stdout, "  ladder:      tier %s, %d down / %d up; served %d analytic / %d packed / %d spatial\n",
 			m.LadderTier, m.LadderDowns, m.LadderUps,

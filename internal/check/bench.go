@@ -22,7 +22,17 @@ type benchSeries struct {
 		Iters   int64   `json:"iterations"`
 		NsPerOp float64 `json:"ns_per_op"`
 		Passes  int     `json:"passes"`
+		// Saturated, when present, is the benchmark's worst observed
+		// saturated-solve rate per op (the sat/op metric column the
+		// spatial benches report). Any nonzero rate is a finding: a
+		// solver quietly hitting its iteration cap means the timed
+		// numbers were bought with unconverged fields.
+		Saturated *float64 `json:"saturated"`
 	} `json:"benchmarks"`
+	// SpatialPackedRatio, when present, is the headline
+	// BenchmarkSimSpatialIncr / BenchmarkSimPacked quotient the
+	// bench-spatial target emits into BENCH_spatial.json.
+	SpatialPackedRatio *float64 `json:"spatial_packed_ratio"`
 }
 
 // benchHTTP is the schema cmd/aimserve -bench emits (BENCH_http.json).
@@ -106,6 +116,17 @@ func benchSeriesFindings(name string, data []byte) []Finding {
 		if b.Passes < MinBenchPasses {
 			add(at, "passes %d, want >= %d (min-of-%d provenance)", b.Passes, MinBenchPasses, MinBenchPasses)
 		}
+		if b.Saturated != nil {
+			switch {
+			case math.IsNaN(*b.Saturated) || math.IsInf(*b.Saturated, 0) || *b.Saturated < 0:
+				add(at, "saturated %v is not finite and non-negative", *b.Saturated)
+			case *b.Saturated > 0:
+				add(at, "saturated solves at %v per op: the mesh solver hit its iteration cap, the timed numbers carry unconverged fields", *b.Saturated)
+			}
+		}
+	}
+	if r := doc.SpatialPackedRatio; r != nil && (!(*r > 0) || math.IsInf(*r, 0)) {
+		add(name, "spatial_packed_ratio %v is not finite and positive", *r)
 	}
 	return fs
 }

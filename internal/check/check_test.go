@@ -264,6 +264,13 @@ func TestBenchSeries(t *testing.T) {
 	if fs := Bench(benchFile(t, valid)); len(fs) != 0 {
 		t.Fatalf("valid series has findings: %v", fs)
 	}
+	spatial := `{"benchmarks": [
+	  {"name": "BenchmarkSimSpatialIncr", "iterations": 3, "ns_per_op": 2.1e8, "passes": 3, "saturated": 0},
+	  {"name": "BenchmarkSimPacked", "iterations": 3, "ns_per_op": 1.2e8, "passes": 3}
+	], "spatial_packed_ratio": 1.75}`
+	if fs := Bench(benchFile(t, spatial)); len(fs) != 0 {
+		t.Fatalf("valid spatial series has findings: %v", fs)
+	}
 	cases := []struct {
 		name    string
 		content string
@@ -280,6 +287,9 @@ func TestBenchSeries(t *testing.T) {
 		{"negative ns", `{"benchmarks": [{"name": "BenchmarkX", "iterations": 1, "ns_per_op": -5, "passes": 3}]}`, "finite and positive"},
 		{"missing passes", `{"benchmarks": [{"name": "BenchmarkX", "iterations": 1, "ns_per_op": 5}]}`, "min-of-3 provenance"},
 		{"too few passes", `{"benchmarks": [{"name": "BenchmarkX", "iterations": 1, "ns_per_op": 5, "passes": 2}]}`, "min-of-3 provenance"},
+		{"nonzero saturation", `{"benchmarks": [{"name": "BenchmarkX", "iterations": 1, "ns_per_op": 5, "passes": 3, "saturated": 0.5}]}`, "iteration cap"},
+		{"negative saturation", `{"benchmarks": [{"name": "BenchmarkX", "iterations": 1, "ns_per_op": 5, "passes": 3, "saturated": -1}]}`, "finite and non-negative"},
+		{"bad ratio", `{"benchmarks": [{"name": "BenchmarkX", "iterations": 1, "ns_per_op": 5, "passes": 3}], "spatial_packed_ratio": 0}`, "spatial_packed_ratio"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -101,6 +101,14 @@ type Pipeline struct {
 	// Like Beta and Parallel it is a runtime knob: it never touches
 	// the compiled artifact, so one Plan serves every tier.
 	Fidelity sim.Fidelity
+	// SpatialWindow, SpatialSkipMV and SpatialAdaptive are the
+	// SpatialPDN tier's cadence and incremental-solve knobs, passed
+	// through to sim.Options verbatim. All are runtime knobs (never in
+	// the plan) and all default to the byte-stable reference: solve
+	// every DefaultSpatialWindow cycles, skip nothing, fixed cadence.
+	SpatialWindow   int
+	SpatialSkipMV   float64
+	SpatialAdaptive bool
 	// Warm, when non-nil, lets the simulator reuse its per-worker
 	// scratch across Execute calls — the serving runtime's warm
 	// simulator state. Results are bit-identical with or without it.
@@ -144,6 +152,9 @@ func (p *Pipeline) SimOptions(s Stage, transformer bool) sim.Options {
 	opt.Parallel = p.Parallel
 	opt.Warm = p.Warm
 	opt.Fidelity = p.Fidelity
+	opt.SpatialWindow = p.SpatialWindow
+	opt.SpatialSkipMV = p.SpatialSkipMV
+	opt.SpatialAdaptive = p.SpatialAdaptive
 	switch s {
 	case StageBaseline:
 		opt.UseBooster = false

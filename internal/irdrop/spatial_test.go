@@ -27,12 +27,20 @@ func defaultSpatial() *Spatial {
 func TestSpatialWithinCalibrationBand(t *testing.T) {
 	sp := defaultSpatial()
 	m := DPIMModel()
+	// A second session runs the same sequence with the calibrated skip
+	// gate armed: held windows trade at most DefaultSpatialSkipMV of
+	// per-group accuracy, an order of magnitude inside the band — so the
+	// skip-armed session must satisfy the exact same pin.
+	spSkip := defaultSpatial()
+	spSkip.SkipThreshold = DefaultSpatialSkipMV / m.DynCoeffMV
 	rng := xrand.NewNamed(1, "spatial/band")
 	act := make([]float64, 16)
 	drop := make([]float64, 16)
+	dropSkip := make([]float64, 16)
 	check := func(label string) {
 		t.Helper()
 		sp.EstimateGroups(act, drop)
+		spSkip.EstimateGroups(act, dropSkip)
 		for g, a := range act {
 			if a < 0 {
 				continue
@@ -40,6 +48,10 @@ func TestSpatialWithinCalibrationBand(t *testing.T) {
 			if d := math.Abs(drop[g] - m.Estimate(a)); d > SpatialCalibrationBandMV {
 				t.Errorf("%s: group %d act %.3f: spatial %.1f mV vs analytic %.1f mV (band %v)",
 					label, g, a, drop[g], m.Estimate(a), SpatialCalibrationBandMV)
+			}
+			if d := math.Abs(dropSkip[g] - m.Estimate(a)); d > SpatialCalibrationBandMV {
+				t.Errorf("%s: group %d act %.3f: skip-armed %.1f mV vs analytic %.1f mV (band %v)",
+					label, g, a, dropSkip[g], m.Estimate(a), SpatialCalibrationBandMV)
 			}
 		}
 	}

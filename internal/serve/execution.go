@@ -2,6 +2,7 @@ package serve
 
 import (
 	"aim/internal/core"
+	"aim/internal/irdrop"
 	"aim/internal/model"
 )
 
@@ -39,7 +40,23 @@ func (s *Server) executor() {
 			}
 			rep := s.pipelineFor(r).Execute(plan)
 			s.served[r.Fidelity].Add(1)
+			s.noteSolveStats(rep)
 			p.reply <- answer{resp: Response{Report: rep, Tier: r.Fidelity, PlanCached: hit}}
 		}
 	}
+}
+
+// noteSolveStats folds one report's spatial mesh-solve accounting
+// (both executed stages) into the server counters. Non-spatial
+// executions carry zero stats and cost four no-op adds.
+func (s *Server) noteSolveStats(rep core.Report) {
+	st := rep.Baseline.Result.SpatialSolve
+	st.Add(rep.AIM.Result.SpatialSolve)
+	if st == (irdrop.SolveStats{}) {
+		return
+	}
+	s.spatialSolves.Add(st.Solves)
+	s.spatialSkips.Add(st.Skips)
+	s.spatialVCycles.Add(st.VCycles)
+	s.spatialSaturated.Add(st.Saturated)
 }

@@ -46,6 +46,12 @@ type wireRequest struct {
 	// "auto" — auto opts into the SLO degradation ladder, which picks
 	// the tier at execution time.
 	Fidelity string `json:"fidelity"`
+	// SpatialWindow, SpatialSkipMV and SpatialAdaptive mirror the
+	// Request knobs of the same names: the spatial tier's solve
+	// cadence, window-skip threshold in mV, and adaptive cadence.
+	SpatialWindow   int     `json:"spatial_window"`
+	SpatialSkipMV   float64 `json:"spatial_skip_mv"`
+	SpatialAdaptive bool    `json:"spatial_adaptive"`
 	// Client names the submitting client for per-client rate limiting.
 	// The X-AIM-Client header takes precedence; with neither set the
 	// remote address identifies the client.
@@ -91,13 +97,16 @@ func decodeSubmit(body []byte) (Request, error) {
 		return Request{}, errors.New("serve: bad request body: trailing data after JSON object")
 	}
 	req := Request{
-		Network:  w.Network,
-		Beta:     w.Beta,
-		Bits:     w.Bits,
-		Delta:    w.Delta,
-		Seed:     w.Seed,
-		Parallel: w.Parallel,
-		Client:   w.Client,
+		Network:         w.Network,
+		Beta:            w.Beta,
+		Bits:            w.Bits,
+		Delta:           w.Delta,
+		Seed:            w.Seed,
+		Parallel:        w.Parallel,
+		SpatialWindow:   w.SpatialWindow,
+		SpatialSkipMV:   w.SpatialSkipMV,
+		SpatialAdaptive: w.SpatialAdaptive,
+		Client:          w.Client,
 	}
 	switch w.Mode {
 	case "", vf.LowPower.String():
@@ -242,6 +251,12 @@ type wireMetrics struct {
 		Packed   int64 `json:"packed"`
 		Spatial  int64 `json:"spatial"`
 	} `json:"served_by_tier"`
+	SpatialSolver struct {
+		Solves    int64 `json:"solves"`
+		Skips     int64 `json:"skips"`
+		VCycles   int64 `json:"v_cycles"`
+		Saturated int64 `json:"saturated"`
+	} `json:"spatial_solver"`
 	LadderTier  string `json:"ladder_tier"`
 	LadderDowns int64  `json:"ladder_downs"`
 	LadderUps   int64  `json:"ladder_ups"`
@@ -275,6 +290,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	wm.Served.Analytic = m.ServedAnalytic
 	wm.Served.Packed = m.ServedPacked
 	wm.Served.Spatial = m.ServedSpatial
+	wm.SpatialSolver.Solves = m.SpatialSolves
+	wm.SpatialSolver.Skips = m.SpatialSkips
+	wm.SpatialSolver.VCycles = m.SpatialVCycles
+	wm.SpatialSolver.Saturated = m.SpatialSaturated
 	writeJSON(w, http.StatusOK, wm)
 }
 

@@ -75,6 +75,17 @@ type Request struct {
 	// analytic, packed and spatial requests alike). Unknown values are
 	// rejected at admission.
 	Fidelity sim.Fidelity
+	// SpatialWindow, SpatialSkipMV and SpatialAdaptive tune the
+	// SpatialPDN tier's solve cadence and incremental-solve gates
+	// (runtime knobs, NOT part of the plan key; zero values are the
+	// reference behaviour — fixed DefaultSpatialWindow cadence, no
+	// window skipping). Negative or non-finite values are rejected at
+	// admission. They only matter for requests that execute at the
+	// spatial tier; results remain bit-identical across worker counts
+	// at any setting.
+	SpatialWindow   int
+	SpatialSkipMV   float64
+	SpatialAdaptive bool
 	// AdaptFidelity hands the tier choice to the scheduling layer's
 	// SLO degradation ladder: the request serves at whatever tier the
 	// ladder holds when its batch executes (SpatialPDN when idle,
@@ -123,6 +134,12 @@ func (r Request) normalize() (Request, Key, error) {
 	if !r.Fidelity.Valid() {
 		return r, Key{}, fmt.Errorf("serve: unknown fidelity %d (want %v, %v or %v)",
 			int(r.Fidelity), sim.AnalyticToggles, sim.PackedToggles, sim.SpatialPDN)
+	}
+	if r.SpatialWindow < 0 {
+		return r, Key{}, fmt.Errorf("serve: negative spatial window %d (0 = default)", r.SpatialWindow)
+	}
+	if r.SpatialSkipMV < 0 || math.IsNaN(r.SpatialSkipMV) || math.IsInf(r.SpatialSkipMV, 0) {
+		return r, Key{}, fmt.Errorf("serve: spatial skip threshold %v mV (want a finite value >= 0)", r.SpatialSkipMV)
 	}
 	d, err := core.ResolveWDSDelta(r.Delta)
 	if err != nil {
@@ -278,8 +295,15 @@ type Server struct {
 	rateLimited atomic.Int64
 	ewmaLatency atomic.Int64 // nanoseconds; exponential moving average
 
-	// Execution counters: requests served per fidelity tier.
-	served [3]atomic.Int64
+	// Execution counters: requests served per fidelity tier, and the
+	// spatial tier's mesh-solve work accumulated across every executed
+	// stage — what makes the cost of the ladder's fidelity decisions
+	// observable from /v1/metrics.
+	served           [3]atomic.Int64
+	spatialSolves    atomic.Int64
+	spatialSkips     atomic.Int64
+	spatialVCycles   atomic.Int64
+	spatialSaturated atomic.Int64
 
 	mu       sync.Mutex
 	requests int64
@@ -363,6 +387,9 @@ func (s *Server) pipelineFor(r Request) *core.Pipeline {
 	p.WDSDelta = r.Delta
 	p.Parallel = r.Parallel
 	p.Fidelity = r.Fidelity
+	p.SpatialWindow = r.SpatialWindow
+	p.SpatialSkipMV = r.SpatialSkipMV
+	p.SpatialAdaptive = r.SpatialAdaptive
 	p.Warm = s.warm
 	return p
 }
@@ -391,6 +418,13 @@ type Stats struct {
 	// degradation ladder one deployment point spreads across tiers
 	// without recompiling.
 	ServedAnalytic, ServedPacked, ServedSpatial int64
+	// SpatialSolves/SpatialSkips/SpatialVCycles count the spatial
+	// tier's mesh-solve work across all served requests: solves run,
+	// windows answered from a held field, and total V-cycles.
+	// SpatialSaturated counts solves that exhausted their iteration
+	// budget without converging — nonzero means the tier is quietly
+	// losing accuracy and aimcheck's bench validation flags it.
+	SpatialSolves, SpatialSkips, SpatialVCycles, SpatialSaturated int64
 }
 
 // Stats snapshots the counters.
@@ -398,16 +432,20 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Requests:       s.requests,
-		Compiles:       s.cache.Compiles(),
-		PlanHits:       s.cache.Hits(),
-		DiskHits:       s.cache.DiskHits(),
-		Batches:        s.batches,
-		Shed:           s.shed.Load(),
-		RateLimited:    s.rateLimited.Load(),
-		ServedAnalytic: s.served[sim.AnalyticToggles].Load(),
-		ServedPacked:   s.served[sim.PackedToggles].Load(),
-		ServedSpatial:  s.served[sim.SpatialPDN].Load(),
+		Requests:         s.requests,
+		Compiles:         s.cache.Compiles(),
+		PlanHits:         s.cache.Hits(),
+		DiskHits:         s.cache.DiskHits(),
+		Batches:          s.batches,
+		Shed:             s.shed.Load(),
+		RateLimited:      s.rateLimited.Load(),
+		ServedAnalytic:   s.served[sim.AnalyticToggles].Load(),
+		ServedPacked:     s.served[sim.PackedToggles].Load(),
+		ServedSpatial:    s.served[sim.SpatialPDN].Load(),
+		SpatialSolves:    s.spatialSolves.Load(),
+		SpatialSkips:     s.spatialSkips.Load(),
+		SpatialVCycles:   s.spatialVCycles.Load(),
+		SpatialSaturated: s.spatialSaturated.Load(),
 	}
 	if s.batches > 0 {
 		st.MeanBatch = float64(s.batched) / float64(s.batches)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -124,12 +125,20 @@ func TestRequestNormalize(t *testing.T) {
 			req:  Request{Network: "resnet18", Mode: vf.LowPower, Fidelity: sim.SpatialPDN},
 			want: Request{Network: "resnet18", Mode: vf.LowPower, Beta: 50, Bits: 8, Delta: 16, Seed: 1, Parallel: 1, Fidelity: sim.SpatialPDN},
 		},
+		{
+			name: "spatial knobs pass through outside the key",
+			req:  Request{Network: "resnet18", Mode: vf.LowPower, Fidelity: sim.SpatialPDN, SpatialWindow: 2, SpatialSkipMV: 3, SpatialAdaptive: true},
+			want: Request{Network: "resnet18", Mode: vf.LowPower, Beta: 50, Bits: 8, Delta: 16, Seed: 1, Parallel: 1, Fidelity: sim.SpatialPDN, SpatialWindow: 2, SpatialSkipMV: 3, SpatialAdaptive: true},
+		},
 		{name: "non-pow2 delta", req: Request{Network: "resnet18", Mode: vf.LowPower, Delta: 12}, wantErr: true},
 		{name: "negative delta", req: Request{Network: "resnet18", Mode: vf.LowPower, Delta: -2}, wantErr: true},
 		{name: "bad bits", req: Request{Network: "resnet18", Mode: vf.LowPower, Bits: 40}, wantErr: true},
 		{name: "bad mode", req: Request{Network: "resnet18", Mode: vf.Mode(9)}, wantErr: true},
 		{name: "bad fidelity", req: Request{Network: "resnet18", Mode: vf.LowPower, Fidelity: sim.Fidelity(9)}, wantErr: true},
 		{name: "negative parallel", req: Request{Network: "resnet18", Mode: vf.LowPower, Parallel: -1}, wantErr: true},
+		{name: "negative spatial window", req: Request{Network: "resnet18", Mode: vf.LowPower, SpatialWindow: -1}, wantErr: true},
+		{name: "negative spatial skip", req: Request{Network: "resnet18", Mode: vf.LowPower, SpatialSkipMV: -0.5}, wantErr: true},
+		{name: "NaN spatial skip", req: Request{Network: "resnet18", Mode: vf.LowPower, SpatialSkipMV: math.NaN()}, wantErr: true},
 	}
 	for _, c := range cases {
 		got, key, err := c.req.normalize()
@@ -312,6 +321,37 @@ func TestMetricsAndBatching(t *testing.T) {
 	}
 	if m.ReqPerSec <= 0 {
 		t.Errorf("req/s = %v", m.ReqPerSec)
+	}
+}
+
+// TestSpatialSolverStatsThread: a served spatial request folds its
+// mesh-solve accounting into the server counters; non-spatial traffic
+// leaves them untouched.
+func TestSpatialSolverStatsThread(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), Request{Network: "resnet18", Mode: vf.LowPower}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SpatialSolves != 0 || st.SpatialSkips != 0 || st.SpatialVCycles != 0 || st.SpatialSaturated != 0 {
+		t.Fatalf("analytic request moved the spatial counters: %+v", st)
+	}
+	req := Request{Network: "resnet18", Mode: vf.LowPower, Fidelity: sim.SpatialPDN,
+		SpatialSkipMV: 30, SpatialAdaptive: true}
+	if _, err := s.Submit(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SpatialSolves == 0 || st.SpatialVCycles < st.SpatialSolves {
+		t.Errorf("spatial request did not surface solver stats: %+v", st)
+	}
+	if st.SpatialSkips == 0 {
+		t.Errorf("band-wide skip threshold served without skips: %+v", st)
+	}
+	m := s.Metrics()
+	if m.SpatialSolves != st.SpatialSolves || m.SpatialSkips != st.SpatialSkips ||
+		m.SpatialVCycles != st.SpatialVCycles || m.SpatialSaturated != st.SpatialSaturated {
+		t.Errorf("Metrics spatial counters %+v diverge from Stats %+v", m.Stats, st)
 	}
 }
 

@@ -56,6 +56,23 @@ type Options struct {
 	// like the §5.5.2 monitors' sampling period; smaller windows track
 	// activity more tightly at proportionally more solver time.
 	SpatialWindow int
+	// SpatialSkipMV arms the SpatialPDN window-skip gate: a window
+	// whose injection map implies less than this many millivolts of
+	// drop change since the last solved map (converted through the
+	// analytic model's mV-per-Rtog sensitivity, which is calibrated
+	// against this same PDN) holds the previous field instead of
+	// solving. 0 — the default — solves every window, the byte-stable
+	// reference behaviour every pinned experiment runs;
+	// irdrop.DefaultSpatialSkipMV is the calibrated opt-in value.
+	// Results stay bit-identical for any worker count at any setting.
+	SpatialSkipMV float64
+	// SpatialAdaptive adapts the solve cadence to activity variance:
+	// quiet stretches double the window (up to 8× the base), loud ones
+	// halve it (down to every cycle). The schedule is a deterministic
+	// function of the activity vector — no RNG draw moves — so results
+	// remain bit-identical across worker counts. False keeps the fixed
+	// window, the determinism reference the manifest pins.
+	SpatialAdaptive bool
 	// Warm, when non-nil, pools the per-worker scratch across Run calls
 	// (a serving runtime executing many requests). Ignored on the
 	// serial reference path; results are bit-identical either way.
@@ -118,6 +135,12 @@ type Result struct {
 	// weighted over occupied groups and cycles — the "mitigation
 	// ability" axis of Fig. 18 derives from it.
 	AvgLevelRtog float64
+	// SpatialSolve summarizes the SpatialPDN tier's mesh-solve work,
+	// weighted by wave Rounds like Cycles (so solves-per-cycle ratios
+	// are meaningful). Zero at the other fidelity tiers. A nonzero
+	// Saturated is the signal that the solver's iteration budget is
+	// clipping accuracy.
+	SpatialSolve irdrop.SolveStats
 	// Traces from the designated wave (nil if disabled): worst group
 	// drop (mV), total chip current (A), and bump voltage (V).
 	DropTraceMV  []float64
@@ -225,6 +248,7 @@ type waveResult struct {
 	dropCount       float64
 	levelRtogSum    float64
 	levelCount      float64
+	solve           irdrop.SolveStats
 	dropTrace       []float64
 	currentTrace    []float64
 	voltageTrace    []float64
@@ -243,6 +267,7 @@ type aggregate struct {
 	dropCount       float64
 	levelRtogSum    float64
 	levelCount      float64
+	solve           irdrop.SolveStats
 	dropTrace       []float64
 	currentTrace    []float64
 	voltageTrace    []float64
@@ -266,6 +291,12 @@ func (a *aggregate) add(r waveResult, weight float64) {
 	a.dropCount += weight * r.dropCount
 	a.levelRtogSum += weight * r.levelRtogSum
 	a.levelCount += weight * r.levelCount
+	// Solve counters weight like cycles and failures: int truncation of
+	// the weighted count, the convention the aggregate test pins.
+	a.solve.Solves += int64(weight * float64(r.solve.Solves))
+	a.solve.Skips += int64(weight * float64(r.solve.Skips))
+	a.solve.VCycles += int64(weight * float64(r.solve.VCycles))
+	a.solve.Saturated += int64(weight * float64(r.solve.Saturated))
 }
 
 func (a *aggregate) result(m irdrop.Model) Result {
@@ -275,6 +306,7 @@ func (a *aggregate) result(m irdrop.Model) Result {
 		Failures:            a.failures,
 		WorstDropMV:         a.worstDrop,
 		WorstWeightOpDropMV: a.worstWeightDrop,
+		SpatialSolve:        a.solve,
 		DropTraceMV:         a.dropTrace,
 		CurrentTrace:        a.currentTrace,
 		VoltageTrace:        a.voltageTrace,

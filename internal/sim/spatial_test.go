@@ -2,9 +2,12 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"aim/internal/compiler"
 	"aim/internal/irdrop"
+	"aim/internal/model"
 	"aim/internal/pim"
 	"aim/internal/vf"
 )
@@ -125,11 +128,140 @@ func TestAggregateAddTruncatesWeightedCounts(t *testing.T) {
 	}
 }
 
-// BenchmarkSimSpatial measures the spatial tier serving the default
-// die serially; the acceptance bar is ≤ 5x BenchmarkSimPacked (the
-// warm V-cycle must amortize, not dominate).
-func BenchmarkSimSpatial(b *testing.B) { benchSimFidelity(b, SpatialPDN, false, 1) }
+// TestSpatialIncrementalParallelMatchesSerial extends the tier's
+// determinism pin to the incremental paths: with the calibrated skip
+// gate and the adaptive cadence armed, the full Result — traces and
+// SpatialSolve accounting included — must stay bit-identical for any
+// worker count. The adaptive schedule is a pure function of the
+// simulated activity and the skip gate draws no randomness, so sharding
+// must not be observable.
+func TestSpatialIncrementalParallelMatchesSerial(t *testing.T) {
+	_, aim, net := compileBoth(t, "resnet18")
+	cfg := pim.DefaultConfig()
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Parallel = 1
+	opt.Fidelity = SpatialPDN
+	opt.SpatialSkipMV = irdrop.DefaultSpatialSkipMV
+	opt.SpatialAdaptive = true
+	serial := Run(aim, cfg, opt)
+	if serial.SpatialSolve.Solves == 0 {
+		t.Fatal("incremental spatial run reported no solves")
+	}
+	for _, workers := range []int{0, 2} {
+		o := opt
+		o.Parallel = workers
+		if par := Run(aim, cfg, o); !reflect.DeepEqual(par, serial) {
+			t.Errorf("incremental SpatialPDN Parallel=%d diverges from serial:\n  par=%+v\n  ser=%+v",
+				workers, par, serial)
+		}
+	}
+}
+
+// TestSpatialSolveStatsSurface: the Result carries the session's
+// mesh-solve accounting for the spatial tier and stays zero elsewhere;
+// an armed skip gate turns quiet windows into skips.
+func TestSpatialSolveStatsSurface(t *testing.T) {
+	_, aim, net := compileBoth(t, "resnet18")
+	cfg := pim.DefaultConfig()
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Fidelity = PackedToggles
+	if res := Run(aim, cfg, opt); res.SpatialSolve != (irdrop.SolveStats{}) {
+		t.Errorf("packed tier reported solver stats: %+v", res.SpatialSolve)
+	}
+	opt.Fidelity = SpatialPDN
+	ref := Run(aim, cfg, opt)
+	if ref.SpatialSolve.Solves == 0 || ref.SpatialSolve.VCycles < ref.SpatialSolve.Solves {
+		t.Errorf("reference spatial stats implausible: %+v", ref.SpatialSolve)
+	}
+	if ref.SpatialSolve.Skips != 0 {
+		t.Errorf("reference spatial run skipped %d windows with the gate disarmed", ref.SpatialSolve.Skips)
+	}
+	// A generous threshold (the full calibration band) must convert a
+	// substantial share of windows into skips.
+	opt.SpatialSkipMV = irdrop.SpatialCalibrationBandMV
+	skip := Run(aim, cfg, opt)
+	if skip.SpatialSolve.Skips == 0 {
+		t.Errorf("band-wide skip threshold never skipped: %+v", skip.SpatialSolve)
+	}
+	if total, refTotal := skip.SpatialSolve.Solves+skip.SpatialSolve.Skips,
+		ref.SpatialSolve.Solves+ref.SpatialSolve.Skips; total != refTotal {
+		t.Errorf("window count changed with the gate: %d vs %d", total, refTotal)
+	}
+	if skip.SpatialSolve.Solves >= ref.SpatialSolve.Solves {
+		t.Errorf("armed gate did not reduce solves: %+v vs %+v", skip.SpatialSolve, ref.SpatialSolve)
+	}
+}
+
+// TestSpatialAdaptiveCadence: adaptivity is opt-in and deterministic —
+// it must reproduce bit for bit, and on a real workload it changes the
+// estimation schedule (different stats than the fixed window).
+func TestSpatialAdaptiveCadence(t *testing.T) {
+	_, aim, net := compileBoth(t, "mobilenetv2")
+	cfg := pim.DefaultConfig()
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Fidelity = SpatialPDN
+	fixed := Run(aim, cfg, opt)
+	opt.SpatialAdaptive = true
+	a := Run(aim, cfg, opt)
+	if b := Run(aim, cfg, opt); !reflect.DeepEqual(a, b) {
+		t.Error("adaptive cadence must be deterministic for a fixed seed")
+	}
+	if a.SpatialSolve == fixed.SpatialSolve {
+		t.Logf("note: adaptive cadence landed on the fixed schedule: %+v", a.SpatialSolve)
+	}
+	if a.SpatialSolve.Solves == 0 {
+		t.Fatal("adaptive run reported no solves")
+	}
+}
+
+// benchSimSpatial is benchSimFidelity specialized to the spatial tier:
+// it exposes the incremental-solve knobs and reports the per-run
+// saturated-solve count as a sat/op column (a nonzero rate means the
+// solver is hitting its iteration cap — aimcheck flags it in bench
+// artifacts).
+func benchSimSpatial(b *testing.B, parallel int, skipMV float64, adaptive bool) {
+	net, err := model.ByName("resnet18", seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	copt := compiler.DefaultOptions()
+	copt.Strategy = compiler.SequentialMap
+	c := compiler.Compile(net, pim.DefaultConfig(), copt)
+	opt := DefaultOptions(net.Transformer, vf.LowPower)
+	opt.Seed = seed
+	opt.Fidelity = SpatialPDN
+	opt.Parallel = parallel
+	opt.SpatialSkipMV = skipMV
+	opt.SpatialAdaptive = adaptive
+	Run(c, pim.DefaultConfig(), opt) // untimed warm-up: page in caches and heap
+	b.ReportAllocs()
+	b.ResetTimer()
+	var saturated int64
+	for i := 0; i < b.N; i++ {
+		res := Run(c, pim.DefaultConfig(), opt)
+		if res.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+		saturated += res.SpatialSolve.Saturated
+	}
+	b.ReportMetric(float64(saturated)/float64(b.N), "sat/op")
+}
+
+// BenchmarkSimSpatial measures the reference spatial tier (solve every
+// window, fixed cadence) serving the default die serially; the
+// acceptance bar is ≤ 5x BenchmarkSimPacked (the warm V-cycle must
+// amortize, not dominate).
+func BenchmarkSimSpatial(b *testing.B) { benchSimSpatial(b, 1, 0, false) }
 
 // BenchmarkSimSpatialParallel is the production path: chunked waves,
 // one warm solver session per worker.
-func BenchmarkSimSpatialParallel(b *testing.B) { benchSimFidelity(b, SpatialPDN, false, 0) }
+func BenchmarkSimSpatialParallel(b *testing.B) { benchSimSpatial(b, 0, 0, false) }
+
+// BenchmarkSimSpatialIncr is the incremental spatial tier: the
+// calibrated skip gate (DefaultSpatialSkipMV) and adaptive cadence
+// armed, serial path. BENCH_spatial.json's spatial_packed_ratio divides
+// this by BenchmarkSimPacked — the bar is ≤ 2.0x (was 4.2x before the
+// incremental solver).
+func BenchmarkSimSpatialIncr(b *testing.B) {
+	benchSimSpatial(b, 1, irdrop.DefaultSpatialSkipMV, true)
+}

@@ -57,17 +57,45 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 	var est irdrop.DropEstimator = m
 	noiseMV := m.NoiseMV
 	window := 1
+	var sp *irdrop.Spatial
 	if opt.Fidelity == SpatialPDN {
-		sp := scratch.spatialEstimator(cfg)
+		sp = scratch.spatialEstimator(cfg)
 		// A cold field per wave: results must not depend on which wave
 		// this shard's session solved before.
 		sp.Reset()
+		sp.SkipThreshold = 0
+		if opt.SpatialSkipMV > 0 {
+			// The analytic model is calibrated against this same PDN
+			// (TestModelMatchesPDN), so its mV-per-Rtog sensitivity
+			// converts the caller's millivolt budget into the Rtog
+			// units the injection-map change metric is measured in.
+			sp.SkipThreshold = opt.SpatialSkipMV / m.DynCoeffMV
+		}
+		// The mesh sweeps and the wave shards compete for the same
+		// cores: a sharded run keeps each shard's session serial, while
+		// the serial reference path lets its single session batch
+		// smoothing sweeps through internal/runner. Bit-identical
+		// either way (the solver's checkerboard invariant).
+		if opt.Parallel == 1 {
+			sp.SetSolverWorkers(0)
+		} else {
+			sp.SetSolverWorkers(1)
+		}
 		est = sp
 		noiseMV = m.NoiseMV * irdrop.SpatialResidualNoiseFrac
 		if window = opt.SpatialWindow; window <= 0 {
 			window = DefaultSpatialWindow
 		}
 	}
+	// Adaptive cadence state: the window stretches and shrinks as a
+	// deterministic function of how far the clamped activity vector
+	// moved between estimations — never of time, load or RNG — so the
+	// schedule is identical on every shard assignment.
+	adaptive := sp != nil && opt.SpatialAdaptive
+	baseWindow := window
+	var lastEstAct []float64
+	estimated := false
+	nextEst := 0
 
 	// Build group states from the wave's mapping.
 	groups, engines := scratch.groupSlices(cfg.Groups)
@@ -170,6 +198,9 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 	act := scratch.floatSlice(cfg.Groups)
 	noise := scratch.floatSlice(cfg.Groups)
 	drops := scratch.floatSlice(cfg.Groups)
+	if adaptive {
+		lastEstAct = scratch.floatSlice(cfg.Groups)
+	}
 
 	for cyc := 0; cyc < opt.CyclesPerWave; cyc++ {
 		p := rng.Normal(opt.ToggleMean, opt.ToggleSigma)
@@ -232,9 +263,21 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 		// cycle noise. The analytic tier re-estimates every cycle; the
 		// spatial tier re-solves the mesh once per window and holds the
 		// field between solves (the monitor sampling cadence of
-		// §5.5.2), which is what lets one warm V-cycle amortize.
-		if cyc%window == 0 {
+		// §5.5.2), which is what lets one warm V-cycle amortize. With a
+		// fixed window nextEst advances in constant steps — the exact
+		// cyc%window == 0 schedule of the reference path.
+		if cyc == nextEst {
 			est.EstimateGroups(act, drops)
+			if adaptive {
+				if estimated {
+					window = adaptWindow(window, baseWindow, lastEstAct, act, m)
+				}
+				estimated = true
+				for g := range act {
+					lastEstAct[g] = clampRtog(act[g])
+				}
+			}
+			nextEst += window
 		}
 		// Effects pass: metric accounting, IRFailure monitors and
 		// IR-Booster level adjustment, in the historical group order.
@@ -340,6 +383,9 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 		}
 	}
 
+	if sp != nil {
+		res.solve = sp.TakeStats()
+	}
 	res.cycles = int64(opt.CyclesPerWave)
 	// Effective throughput: task-weighted frequency × useful fraction.
 	totalTasks := 0
@@ -362,4 +408,70 @@ func runWave(w *compiler.Wave, cfg pim.Config, m irdrop.Model, table *vf.Table, 
 	}
 	res.useful = usefulMin
 	return res
+}
+
+// Adaptive-cadence thresholds, as implied-drop fractions of the
+// spatial calibration band. The controller watches the MEAN absolute
+// activity move across groups between the two most recent estimations,
+// not the max: per-window toggle noise swings any single group's move
+// by the band's own order even in steady state, while the mean — the
+// uniform component, exactly the regime DynCoeffMV is calibrated
+// against — tracks the workload's real drift. A move implying less
+// than the stretch bound doubles the window (every estimate is still a
+// fresh converged solve, so a longer window coarsens the drop sampling
+// cadence, never a sample's accuracy — and sampling faster than the
+// drops move buys nothing the band can see), more than the shrink
+// bound halves it (drops moved by the tier's whole accuracy envelope
+// inside one window — track them). Between the two the window holds,
+// giving the controller hysteresis.
+const (
+	adaptStretchFrac = 0.3
+	adaptShrinkFrac  = 1.0
+	// maxAdaptiveWindowFactor caps the stretched window at this
+	// multiple of the configured base.
+	maxAdaptiveWindowFactor = 8
+)
+
+// clampRtog maps a staged activity to the injection domain: idle
+// markers (negative) and zero inject nothing, everything else clamps
+// to [0, 1] — mirroring exactly what the spatial estimator feeds the
+// mesh, so the cadence controller reacts to what the solver would see.
+func clampRtog(a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// adaptWindow is the cadence controller: a pure function of the
+// clamped activity move between the two most recent estimations
+// (prev already clamped, cur raw), the current and base window, and
+// the model's mV-per-Rtog sensitivity.
+func adaptWindow(window, base int, prev, cur []float64, m irdrop.Model) int {
+	if len(cur) == 0 {
+		return window
+	}
+	moved := 0.0
+	for g := range cur {
+		d := clampRtog(cur[g]) - prev[g]
+		if d < 0 {
+			d = -d
+		}
+		moved += d
+	}
+	impliedMV := moved / float64(len(cur)) * m.DynCoeffMV
+	switch {
+	case impliedMV < adaptStretchFrac*irdrop.SpatialCalibrationBandMV:
+		if max := base * maxAdaptiveWindowFactor; window*2 <= max {
+			return window * 2
+		}
+	case impliedMV > adaptShrinkFrac*irdrop.SpatialCalibrationBandMV:
+		if window > 1 {
+			return window / 2
+		}
+	}
+	return window
 }

@@ -122,14 +122,17 @@ func request(cfg Config) (serve.Request, error) {
 		return serve.Request{}, err
 	}
 	return serve.Request{
-		Network:  cfg.Network,
-		Mode:     mode,
-		Beta:     cfg.Beta,
-		Bits:     cfg.Bits,
-		Delta:    cfg.WDSDelta,
-		Seed:     cfg.Seed,
-		Parallel: cfg.Parallel,
-		Fidelity: fidelity,
+		Network:         cfg.Network,
+		Mode:            mode,
+		Beta:            cfg.Beta,
+		Bits:            cfg.Bits,
+		Delta:           cfg.WDSDelta,
+		Seed:            cfg.Seed,
+		Parallel:        cfg.Parallel,
+		Fidelity:        fidelity,
+		SpatialWindow:   cfg.SpatialWindow,
+		SpatialSkipMV:   cfg.SpatialSkipMV,
+		SpatialAdaptive: cfg.SpatialAdaptive,
 	}, nil
 }
 
@@ -191,6 +194,13 @@ type ServerStats struct {
 	// requests by the fidelity tier that executed them — under the
 	// degradation ladder the mix shifts with load.
 	ServedAnalytic, ServedPacked, ServedSpatial int64
+	// SpatialSolves/SpatialSkips/SpatialVCycles/SpatialSaturated are the
+	// spatial tier's cumulative mesh-solver accounting across served
+	// requests: windows solved (and the V-cycles they took), windows
+	// answered from the held field by the incremental skip gate, and
+	// solves that hit the iteration cap before converging. All stay 0
+	// until a spatial-tier request is served.
+	SpatialSolves, SpatialSkips, SpatialVCycles, SpatialSaturated int64
 }
 
 // Stats snapshots the counters.
@@ -202,6 +212,8 @@ func (s *Server) Stats() ServerStats {
 		Shed: st.Shed, RateLimited: st.RateLimited,
 		ServedAnalytic: st.ServedAnalytic, ServedPacked: st.ServedPacked,
 		ServedSpatial: st.ServedSpatial,
+		SpatialSolves: st.SpatialSolves, SpatialSkips: st.SpatialSkips,
+		SpatialVCycles: st.SpatialVCycles, SpatialSaturated: st.SpatialSaturated,
 	}
 }
 
@@ -236,6 +248,8 @@ func (s *Server) Metrics() ServerMetrics {
 			Shed: m.Shed, RateLimited: m.RateLimited,
 			ServedAnalytic: m.ServedAnalytic, ServedPacked: m.ServedPacked,
 			ServedSpatial: m.ServedSpatial,
+			SpatialSolves: m.SpatialSolves, SpatialSkips: m.SpatialSkips,
+			SpatialVCycles: m.SpatialVCycles, SpatialSaturated: m.SpatialSaturated,
 		},
 		Wall: m.Wall, ReqPerSec: m.ReqPerSec,
 		P50: m.P50, P95: m.P95, P99: m.P99,
